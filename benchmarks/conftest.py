@@ -1,0 +1,54 @@
+"""Benchmark fixtures.
+
+Every experiment records its paper-vs-measured comparison in two places:
+``benchmark.extra_info`` (lands in pytest-benchmark's JSON) and a plain
+``results_summary.txt`` next to this file (one line per recorded fact),
+so the numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+import pytest
+
+from repro.util.clock import ManualClock
+
+RESULTS_PATH = Path(__file__).parent / "results_summary.txt"
+SHM_DIR = Path("/dev/shm")
+
+
+def pytest_sessionstart(session):
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Append one ``experiment | quantity | paper | measured`` line."""
+
+    def _record(experiment: str, quantity: str, paper: str, measured: str) -> None:
+        with open(RESULTS_PATH, "a") as fh:
+            fh.write(f"{experiment} | {quantity} | paper: {paper} | measured: {measured}\n")
+
+    return _record
+
+
+@pytest.fixture
+def shm_namespace():
+    namespace = f"reprobench-{uuid.uuid4().hex[:10]}"
+    yield namespace
+    if SHM_DIR.is_dir():
+        for path in SHM_DIR.iterdir():
+            if path.name.startswith(namespace):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+
+@pytest.fixture
+def clock():
+    return ManualClock(1_390_000_000.0)

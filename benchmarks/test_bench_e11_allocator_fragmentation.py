@@ -1,0 +1,121 @@
+"""E11 — ablation: the rejected always-in-shared-memory allocator.
+
+Paper (§3): alternative 1 was to "allocate all data in shared memory all
+of the time", requiring a custom allocator; Scuba rejected it over
+thread safety, complexity, and fragmentation (lazy backing-page
+allocation being impossible in shared memory).
+
+The ablation runs a Scuba-like churn (row block columns of mixed sizes
+appended and expired) through a first-fit shared memory allocator and
+measures how fragmentation grows, versus the copy-on-restart design
+whose normal operation touches only the battle-tested process heap.
+"""
+
+import random
+
+from repro.errors import AllocationError
+from repro.shm.allocator import ShmAllocator
+
+ARENA = 24 << 20  # sized for ~85% utilization, like a full leaf
+CHURN_STEPS = 4_000
+
+
+def scuba_churn(arena, rng, steps):
+    """Mixed-size RBC allocations with interleaved expiry, like a leaf.
+
+    Tables expire independently, so frees are scattered across the
+    arena rather than strictly oldest-first — the pattern that defeats
+    first-fit coalescing.
+    """
+    live = []  # offsets
+    failures = 0
+    worst_fragmentation = 0.0
+    for step in range(steps):
+        if len(live) > 300:
+            # Different tables age out at different times: free a
+            # random quarter of the live blocks.
+            rng.shuffle(live)
+            for offset in live[:75]:
+                arena.free(offset)
+            live = live[75:]
+        size = rng.choice((256, 1 << 10, 8 << 10, 64 << 10, 256 << 10))
+        try:
+            live.append(arena.alloc(size))
+        except AllocationError:
+            failures += 1
+            if live:
+                arena.free(live.pop(0))
+        stats = arena.stats()
+        worst_fragmentation = max(worst_fragmentation, stats.fragmentation)
+    return failures, worst_fragmentation
+
+
+def test_fragmentation_grows_under_churn(benchmark, record_result):
+    results = {}
+
+    def run():
+        arena = ShmAllocator(ARENA)
+        failures, worst = scuba_churn(arena, random.Random(42), CHURN_STEPS)
+        results["failures"] = failures
+        results["worst_fragmentation"] = worst
+        results["final"] = arena.stats()
+
+    benchmark(run)
+    final = results["final"]
+    assert results["worst_fragmentation"] > 0.4
+    record_result("E11", "worst free-space fragmentation under churn",
+                  "grows over time (rejected design)",
+                  f"{results['worst_fragmentation']:.0%}")
+    record_result("E11", "free holes at end of churn", "many",
+                  f"{final.free_block_count} holes, largest "
+                  f"{final.largest_free_block >> 10} KiB of "
+                  f"{final.free_bytes >> 10} KiB free")
+
+
+def test_large_allocation_fails_despite_free_space(benchmark, record_result):
+    """The concrete failure: after churn, a 1 GB-style big RBC cannot be
+    placed even though total free space would cover it."""
+    outcome = {}
+
+    def run():
+        arena = ShmAllocator(ARENA)
+        scuba_churn(arena, random.Random(7), CHURN_STEPS)
+        stats = arena.stats()
+        big = int(stats.free_bytes * 0.8)
+        try:
+            arena.alloc(big)
+            outcome["failed"] = False
+        except AllocationError:
+            outcome["failed"] = True
+        outcome["free"] = stats.free_bytes
+        outcome["largest"] = stats.largest_free_block
+
+    benchmark(run)
+    assert outcome["failed"], outcome
+    record_result("E11", "80%-of-free-space allocation after churn",
+                  "fails (fragmentation)",
+                  f"fails: largest hole {outcome['largest'] >> 10} KiB of "
+                  f"{outcome['free'] >> 10} KiB free")
+
+
+def test_chosen_design_has_no_shm_fragmentation(benchmark, record_result):
+    """The copy-on-restart design allocates each table segment exactly
+    once, contiguous, at shutdown: zero external fragmentation by
+    construction."""
+
+    def run():
+        arena = ShmAllocator(ARENA)
+        offsets = []
+        # Shutdown: one exact-size allocation per table, back to back.
+        for size in (ARENA // 4, ARENA // 2, ARENA // 8):
+            offsets.append(arena.alloc(size))
+        worst = arena.stats().fragmentation
+        # Restore: everything freed again, in order.
+        for offset in offsets:
+            arena.free(offset)
+        return worst, arena.stats()
+
+    worst, final = benchmark(run)
+    assert worst == 0.0
+    assert final.largest_free_block == ARENA
+    record_result("E11", "fragmentation, copy-on-restart design", "0", f"{worst:.0%}")

@@ -1,0 +1,94 @@
+"""E12 — future work (§6): use the shared memory layout as the disk format.
+
+Paper: "One large overhead in Scuba's disk recovery is translating from
+the disk format to the heap memory format. [...] We are planning to use
+the shared memory format described in this paper as the disk format,
+instead.  We expect that the much simpler translation to heap memory
+format will speed up disk recovery significantly."
+
+Measured for real: recovery of the same table from (a) the legacy
+row-format backup and (b) the shm-format snapshot.
+"""
+
+from repro.columnstore.leafmap import LeafMap
+from repro.disk.backup import DiskBackup
+from repro.disk.recovery import recover_leafmap
+from repro.disk.shmformat import recover_leafmap_shm_format, write_leafmap_shm_format
+from repro.sim import paper_profile
+from repro.workloads import ads_revenue
+
+N_ROWS = 25_000
+ROWS_PER_BLOCK = 4096
+_ratio = {}
+
+
+def build_leafmap(clock):
+    leafmap = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+    leafmap.get_or_create("ads_revenue").add_rows(ads_revenue(N_ROWS))
+    leafmap.seal_all()
+    return leafmap
+
+
+def test_recover_legacy_row_format(benchmark, tmp_path, clock, record_result):
+    backup = DiskBackup(tmp_path / "legacy")
+    backup.sync_leafmap(build_leafmap(clock))
+
+    def run():
+        restored = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+        assert recover_leafmap(backup, restored) == N_ROWS
+
+    benchmark(run)
+    _ratio["legacy"] = benchmark.stats["mean"]
+    record_result("E12", "disk recovery, legacy row format (scaled)",
+                  "slow (translation-bound)", f"{benchmark.stats['mean']:.3f} s")
+
+
+def test_recover_shm_disk_format(benchmark, tmp_path, clock, record_result):
+    directory = tmp_path / "shmfmt"
+    write_leafmap_shm_format(directory, build_leafmap(clock))
+
+    def run():
+        restored = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+        assert recover_leafmap_shm_format(directory, restored) == N_ROWS
+
+    benchmark(run)
+    _ratio["shmfmt"] = benchmark.stats["mean"]
+    if "legacy" in _ratio:
+        speedup = _ratio["legacy"] / _ratio["shmfmt"]
+        assert speedup > 5
+        record_result("E12", "shm-format recovery speedup over legacy",
+                      "'significantly' faster", f"{speedup:.0f}x")
+    record_result("E12", "disk recovery, shm disk format (scaled)",
+                  "near copy speed", f"{benchmark.stats['mean']:.3f} s")
+
+
+def test_formats_recover_identical_data(benchmark, tmp_path, clock, record_result):
+    legacy = DiskBackup(tmp_path / "legacy-eq")
+    leafmap = build_leafmap(clock)
+    legacy.sync_leafmap(leafmap)
+    directory = tmp_path / "shmfmt-eq"
+    write_leafmap_shm_format(directory, leafmap)
+
+    def run():
+        a = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+        recover_leafmap(legacy, a)
+        b = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+        recover_leafmap_shm_format(directory, b)
+        assert a.snapshot_rows() == b.snapshot_rows()
+
+    benchmark.pedantic(run, rounds=2)
+    record_result("E12", "legacy vs shm-format recovered data", "identical", "identical")
+
+
+def test_full_scale_projection(benchmark, record_result):
+    """The cost model's projection of §6's plan at 120 GB."""
+
+    def run():
+        old = paper_profile().disk_restart_seconds(1)
+        new = paper_profile().with_shm_disk_format().disk_restart_seconds(1)
+        return old, new
+
+    old, new = benchmark(run)
+    assert new < old / 2
+    record_result("E12", "per-leaf disk restart, shm disk format (sim)",
+                  "significantly faster", f"{old / 60:.1f} min -> {new / 60:.1f} min")

@@ -1,0 +1,87 @@
+"""E14 (extension) — restart latency over real OS processes.
+
+Not a table in the paper, but the deployment-tooling view of E1: the
+old *process* dies and the replacement *process* recovers, so the
+measurement includes interpreter startup, the §4.3 wait-for-death loop,
+and the JSON control channel — everything a real deploy pays besides
+the data copy itself.
+"""
+
+import pytest
+
+from repro.server.process_client import LeafProcess, LeafProcessConfig
+
+N_ROWS = 8_000
+
+
+def config(shm_namespace, tmp_path, leaf_id="b"):
+    return LeafProcessConfig(
+        leaf_id=leaf_id,
+        backup_dir=tmp_path / f"leaf-{leaf_id}",
+        namespace=shm_namespace,
+        rows_per_block=2048,
+    )
+
+
+@pytest.mark.slow
+def test_process_restart_via_shared_memory(benchmark, shm_namespace, tmp_path, record_result):
+    seed = LeafProcess(config(shm_namespace, tmp_path))
+    seed.spawn()
+    seed.add_rows("events", [{"time": i, "v": float(i % 7)} for i in range(N_ROWS)])
+    seed.shutdown(use_shm=True)
+
+    def setup():
+        return (), {}
+
+    def run():
+        leaf = LeafProcess(config(shm_namespace, tmp_path))
+        report = leaf.spawn()
+        assert report["method"] == "shared_memory"
+        assert report["rows"] == N_ROWS
+        leaf.shutdown(use_shm=True)  # leave state for the next round
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+    # Consume the final generation's segments.
+    final = LeafProcess(config(shm_namespace, tmp_path))
+    final.spawn()
+    final.shutdown(use_shm=False)
+    record_result("E14", "process restart via shm (incl. spawn)", "seconds at scale",
+                  f"{benchmark.stats['mean']:.2f} s wall (scaled)")
+
+
+@pytest.mark.slow
+def test_process_restart_via_disk(benchmark, shm_namespace, tmp_path, record_result):
+    seed = LeafProcess(config(shm_namespace, tmp_path, leaf_id="d"))
+    seed.spawn()
+    seed.add_rows("events", [{"time": i, "v": float(i % 7)} for i in range(N_ROWS)])
+    seed.shutdown(use_shm=False)
+
+    def run():
+        leaf = LeafProcess(config(shm_namespace, tmp_path, leaf_id="d"))
+        report = leaf.spawn()
+        assert report["method"] == "disk"
+        assert report["rows"] == N_ROWS
+        leaf.shutdown(use_shm=False)
+
+    benchmark.pedantic(run, rounds=5)
+    record_result("E14", "process restart via disk (incl. spawn)", "hours at scale",
+                  f"{benchmark.stats['mean']:.2f} s wall (scaled)")
+
+
+@pytest.mark.slow
+def test_data_copy_dominates_at_scale(benchmark, shm_namespace, tmp_path, record_result):
+    """The fixed process overhead (~0.5 s of interpreter+spawn here,
+    seconds in production) is trivial next to a disk recovery and
+    non-trivial next to an shm restore — which is exactly why the paper
+    counts 'detect + initiate' in its 2-3 minute slot."""
+    seed = LeafProcess(config(shm_namespace, tmp_path, leaf_id="o"))
+
+    def run():
+        leaf = LeafProcess(config(shm_namespace, tmp_path, leaf_id="o"))
+        report = leaf.spawn()  # empty leaf: pure process overhead
+        leaf.shutdown(use_shm=False)
+        return report["seconds"]
+
+    benchmark(run)
+    record_result("E14", "pure process overhead (empty leaf)", "n/a",
+                  f"{benchmark.stats['mean']:.2f} s")

@@ -1,0 +1,59 @@
+"""E5 — N leaf servers per machine multiply restart bandwidth.
+
+Paper (§2, §6): "By running N leaf servers on each machine (instead of
+only one leaf server), we increase the number of restarting servers by a
+factor of N [...] and we get close to N times as much disk bandwidth
+(for disk recovery) and memory bandwidth (for shared memory recovery)."
+With 100 machines and one leaf each, a 2% policy can restart only 2
+servers at a time; with 800 leaves, 16 servers on 16 machines.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim import paper_profile, simulate_rollover
+from repro.sim.hardware import HOUR
+
+
+@pytest.mark.parametrize("leaves", [1, 2, 4, 8])
+def test_disk_rollover_scales_with_leaves_per_machine(
+    benchmark, leaves, record_result
+):
+    profile = replace(paper_profile(), leaves_per_machine=leaves)
+    result = benchmark(simulate_rollover, profile, 100, "disk", 0.02)
+    benchmark.extra_info["hours"] = result.total_seconds / HOUR
+    benchmark.extra_info["concurrent_restarts"] = result.batch_size
+    record_result(
+        "E5",
+        f"disk rollover, {leaves} leaves/machine",
+        "8 leaves => ~12 h; 1 leaf => ~8x slower",
+        f"{result.total_seconds / HOUR:.1f} h ({result.batch_size} concurrent)",
+    )
+
+
+def test_eight_leaves_beat_one_by_nearly_8x(benchmark, record_result):
+    one = benchmark(
+        simulate_rollover,
+        replace(paper_profile(), leaves_per_machine=1), 100, "disk", 0.02,
+    )
+    eight = simulate_rollover(paper_profile(), 100, "disk", 0.02)
+    # Compare restart spans (the deployment overhead is constant).
+    factor = one.restart_seconds / eight.restart_seconds
+    assert 5.0 <= factor <= 8.5
+    record_result("E5", "speedup of 8 leaves/machine over 1", "close to 8x",
+                  f"{factor:.1f}x")
+
+
+def test_concurrent_restarts_match_paper_example(benchmark, record_result):
+    """§2's worked example: 100 machines, 2% policy — 2 concurrent
+    restarts with one leaf per machine, 16 with eight."""
+    one = benchmark(
+        simulate_rollover,
+        replace(paper_profile(), leaves_per_machine=1), 100, "disk", 0.02,
+    )
+    eight = simulate_rollover(paper_profile(), 100, "disk", 0.02)
+    assert one.batch_size == 2
+    assert eight.batch_size == 16
+    record_result("E5", "concurrent restarts, 1 leaf/machine", "2", str(one.batch_size))
+    record_result("E5", "concurrent restarts, 8 leaves/machine", "16", str(eight.batch_size))

@@ -1,0 +1,83 @@
+"""E7 — shutdown latency and the 3-minute kill.
+
+Paper (§4.3): "Usually, the leaf copies its data to shared memory and
+exits in 3-4 seconds.  However, the loop ensures that we kill the leaf
+server if it has not shut down after 3 minutes.  If the old leaf server
+is killed, the new leaf server will restart from disk."
+"""
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod, RestartEngine
+from repro.core.watchdog import CooperativeDeadline
+from repro.disk.backup import DiskBackup
+from repro.errors import ShutdownTimeout
+from repro.sim import paper_profile
+from repro.workloads import service_requests
+
+N_ROWS = 20_000
+ROWS_PER_BLOCK = 4096
+
+
+def build_leafmap(clock):
+    leafmap = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+    leafmap.get_or_create("service_requests").add_rows(service_requests(N_ROWS))
+    leafmap.seal_all()
+    return leafmap
+
+
+def test_copy_to_shm_latency(benchmark, shm_namespace, clock, record_result):
+    """The Figure-6 copy loop, measured for real (scaled)."""
+
+    def setup():
+        return (build_leafmap(clock),), {}
+
+    def run(leafmap):
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        report = engine.backup_to_shm(leafmap)
+        engine.discard_shm()
+        return report
+
+    benchmark.pedantic(run, setup=setup, rounds=8)
+    record_result("E7", "copy-to-shm shutdown (scaled, 20k rows)",
+                  "3-4 s @ 10-15 GB", f"{benchmark.stats['mean'] * 1000:.1f} ms")
+
+
+def test_full_scale_shutdown_copy(benchmark, record_result):
+    def run():
+        return paper_profile().shm_shutdown_seconds(1)
+
+    seconds = benchmark(run)
+    assert 3.0 <= seconds <= 4.5
+    record_result("E7", "copy-to-shm shutdown (sim, 15 GB leaf)", "3-4 s",
+                  f"{seconds:.2f} s")
+
+
+def test_overrunning_shutdown_is_killed_and_next_boot_uses_disk(
+    benchmark, shm_namespace, tmp_path, clock, record_result
+):
+    """The watchdog path: an expired deadline aborts the copy with the
+    valid bit still false; the replacement recovers from disk."""
+    backup = DiskBackup(tmp_path / "backup")
+
+    def setup():
+        leafmap = build_leafmap(clock)
+        backup.sync_leafmap(leafmap)
+        return (leafmap,), {}
+
+    def run(leafmap):
+        engine = RestartEngine("k", namespace=shm_namespace, backup=backup, clock=clock)
+        deadline = CooperativeDeadline(timeout=1e-9, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(ShutdownTimeout):
+            engine.backup_to_shm(leafmap, deadline=deadline)
+        restored = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
+        report = RestartEngine(
+            "k", namespace=shm_namespace, backup=backup, clock=clock
+        ).restore(restored)
+        assert report.method is RecoveryMethod.DISK
+        assert restored.row_count == N_ROWS
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    record_result("E7", "kill after deadline", "fall back to disk", "fall back to disk")

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Full-scale restart arithmetic: the paper's numbers from the cost model.
+
+Uses the calibrated :class:`HardwareProfile` (144 GB machines, 120 GB of
+data, 8 leaves, 2014 spinning disks) to regenerate every headline figure
+in the paper, then explores the design space the way a capacity planner
+would:
+
+- leaves-per-machine sweep (the Section 6 "factor of N" argument),
+- batch-fraction sweep (availability vs rollover duration),
+- the Section 6 future-work variants: SSDs, and the shared-memory
+  layout used as the disk format (experiment E12).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import paper_profile, simulate_rollover
+from repro.sim import simulate_leaf_restart, simulate_machine_recovery, weekly_availability
+from repro.sim.hardware import HOUR, MINUTE
+
+from dataclasses import replace
+
+
+def fmt(seconds: float) -> str:
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.1f} h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.1f} min"
+    return f"{seconds:.1f} s"
+
+
+def headline_table() -> None:
+    profile = paper_profile()
+    disk_machine = simulate_machine_recovery(profile, "disk", "all_at_once")
+    rollover_disk = simulate_rollover(profile, 100, "disk", 0.02)
+    rollover_shm = simulate_rollover(profile, 100, "shm", 0.02)
+    rows = [
+        ("read 120 GB from disk (one machine)", "20-25 min",
+         fmt(profile.data_gb_per_machine * 1e9 / (profile.disk_read_mbps * 1e6))),
+        ("machine disk recovery (read+translate)", "2.5-3 h",
+         fmt(disk_machine.total_seconds)),
+        ("copy one leaf to shared memory", "3-4 s",
+         fmt(profile.shm_shutdown_seconds())),
+        ("shm rollover slot per leaf (incl. detection)", "2-3 min",
+         fmt(profile.shm_restart_seconds() + profile.detection_overhead_s)),
+        ("cluster rollover from disk, 2% at a time", "10-12 h",
+         fmt(rollover_disk.total_seconds)),
+        ("cluster rollover via shared memory", "< 1 h",
+         fmt(rollover_shm.total_seconds)),
+        ("weekly full availability, disk deploys", "93%",
+         f"{weekly_availability(rollover_disk.total_seconds).fully_available_fraction:.1%}"),
+        ("weekly full availability, shm deploys", "99.5%",
+         f"{weekly_availability(rollover_shm.total_seconds).fully_available_fraction:.1%}"),
+    ]
+    print(f"{'quantity':48s} {'paper':>10s} {'model':>10s}")
+    for name, paper, model in rows:
+        print(f"{name:48s} {paper:>10s} {model:>10s}")
+
+
+def leaves_per_machine_sweep() -> None:
+    print("\n== leaves per machine (Section 6: 'a factor of N') ==")
+    print(f"{'leaves':>7s} {'disk rollover':>14s} {'shm rollover':>13s}")
+    for n in (1, 2, 4, 8, 16):
+        profile = replace(paper_profile(), leaves_per_machine=n)
+        disk = simulate_rollover(profile, 100, "disk", 0.02)
+        shm = simulate_rollover(profile, 100, "shm", 0.02)
+        print(f"{n:>7d} {fmt(disk.total_seconds):>14s} {fmt(shm.total_seconds):>13s}")
+
+
+def batch_fraction_sweep() -> None:
+    print("\n== batch fraction: duration vs availability (disk) ==")
+    print(f"{'batch':>6s} {'duration':>10s} {'min avail':>10s}")
+    for fraction in (0.01, 0.02, 0.05, 0.10, 0.25):
+        result = simulate_rollover(paper_profile(), 100, "disk", fraction)
+        print(f"{fraction:>6.0%} {fmt(result.total_seconds):>10s} "
+              f"{result.min_availability:>10.1%}")
+
+
+def straggler_sweep() -> None:
+    print("\n== stragglers: shm shutdowns killed at the deadline (-> disk) ==")
+    print(f"{'failure rate':>13s} {'shm rollover':>13s} {'stragglers':>11s}")
+    for rate in (0.0, 0.01, 0.05, 0.10):
+        result = simulate_rollover(
+            paper_profile(), 100, "shm", 0.02, shm_failure_rate=rate, seed=1
+        )
+        print(f"{rate:>13.0%} {fmt(result.total_seconds):>13s} "
+              f"{result.stragglers:>11d}")
+
+
+def future_work_variants() -> None:
+    print("\n== Section 6 variants: per-leaf disk restart ==")
+    base = paper_profile()
+    variants = [
+        ("2014 spinning disk + row format", base),
+        ("SSD + row format", base.with_ssd()),
+        ("spinning disk + shm disk format (E12)", base.with_shm_disk_format()),
+        ("SSD + shm disk format", base.with_ssd().with_shm_disk_format()),
+    ]
+    shm = simulate_leaf_restart(base, "shm").total_seconds
+    for name, profile in variants:
+        restart = simulate_leaf_restart(profile, "disk")
+        print(f"  {name:40s} {fmt(restart.total_seconds):>9s}")
+    print(f"  {'shared memory restart (for reference)':40s} {fmt(shm):>9s}")
+
+
+def main() -> None:
+    print("== paper vs calibrated model (100 machines x 8 leaves) ==")
+    headline_table()
+    leaves_per_machine_sweep()
+    batch_fraction_sweep()
+    straggler_sweep()
+    future_work_variants()
+
+
+if __name__ == "__main__":
+    main()

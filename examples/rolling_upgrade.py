@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A rolling cluster upgrade with the Figure-8 dashboard.
+
+Builds an in-process cluster (6 machines x 4 leaves), loads all four
+motivating workloads through Scribe + tailers, then upgrades every leaf
+to a new binary version 2 leaves at a time — first through shared
+memory, then (for contrast) through disk recovery — while asserting that
+every dashboard query returns identical answers afterwards.
+
+Run:  python examples/rolling_upgrade.py
+"""
+
+import random
+import tempfile
+import time
+import uuid
+
+from repro import Cluster, RolloverCoordinator, render_dashboard
+from repro.workloads import SCENARIOS, populate_cluster
+
+NAMESPACE = f"upgrade-{uuid.uuid4().hex[:8]}"
+
+
+def snapshot_dashboards(cluster):
+    return {
+        name: [(row.group, row.values) for row in cluster.query(s.query).rows]
+        for name, s in SCENARIOS.items()
+    }
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        print("== build a 6-machine x 4-leaf cluster and load workloads ==")
+        cluster = Cluster(
+            6, tmp, leaves_per_machine=4, namespace=NAMESPACE,
+            rows_per_block=2048, rng=random.Random(42),
+        )
+        cluster.start_all()
+        total = populate_cluster(cluster, rows_per_scenario=5_000)
+        cluster.sync_all()
+        print(f"{total:,} rows across {len(SCENARIOS)} tables on "
+              f"{len(cluster.leaves)} leaves")
+
+        before = snapshot_dashboards(cluster)
+        for name, rows in before.items():
+            print(f"  {name:12s} -> {len(rows)} groups")
+
+        print("\n== rollover v1 -> v2 via SHARED MEMORY, 2 leaves at a time ==")
+        t0 = time.perf_counter()
+        result = RolloverCoordinator(
+            cluster, new_version="v2", batch_fraction=2 / 24, use_shm=True
+        ).run()
+        shm_wall = time.perf_counter() - t0
+        print(f"{result.leaves_restarted} leaves in {result.batches} batches, "
+              f"{shm_wall:.2f}s wall, min availability "
+              f"{result.min_availability:.1%}")
+        print(render_dashboard(result.dashboard, width=48, max_rows=8))
+
+        assert snapshot_dashboards(cluster) == before, "data changed across upgrade!"
+        print("every dashboard query identical after the upgrade ✓")
+
+        print("\n== rollover v2 -> v3 via DISK RECOVERY (the old way) ==")
+        t0 = time.perf_counter()
+        result = RolloverCoordinator(
+            cluster, new_version="v3", batch_fraction=2 / 24, use_shm=False
+        ).run()
+        disk_wall = time.perf_counter() - t0
+        print(f"{result.leaves_restarted} leaves in {result.batches} batches, "
+              f"{disk_wall:.2f}s wall")
+        assert snapshot_dashboards(cluster) == before
+        print("dashboards identical again ✓  (disk recovery re-translated "
+              "every row)")
+
+        print(f"\nshared memory rollover was {disk_wall / shm_wall:.1f}x faster "
+              f"at this scale; the sim (examples/capacity_planning.py) shows "
+              f"the 12h -> <1h gap at Facebook scale")
+
+
+if __name__ == "__main__":
+    main()

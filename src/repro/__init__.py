@@ -1,0 +1,114 @@
+"""repro — a reproduction of *Fast Database Restarts at Facebook*
+(Goel et al., SIGMOD 2014).
+
+A Scuba-like distributed in-memory column store whose leaf servers can
+restart through POSIX shared memory: a cleanly shutting-down process
+copies its compressed column data into named shared memory segments, one
+row block column at a time, sets a valid bit, and exits; the replacement
+process attaches, copies everything back into its heap, and is serving
+complete results in seconds — instead of re-reading and re-translating
+its entire backup from disk.
+
+Quick tour::
+
+    from repro import LeafServer, DiskBackup, Query, Aggregation
+
+    leaf = LeafServer("0", backup=DiskBackup("/tmp/scuba-backup"))
+    leaf.start()                       # empty first boot
+    leaf.add_rows("events", rows)      # ingest
+    leaf.shutdown(use_shm=True)        # copy heap -> shared memory, exit
+
+    leaf2 = LeafServer("0", backup=DiskBackup("/tmp/scuba-backup"))
+    leaf2.start()                      # shared memory -> heap, seconds
+    leaf2.query(Query("events", aggregations=(Aggregation("count"),)))
+
+Layering (see DESIGN.md):
+
+- :mod:`repro.columnstore` — tables, row blocks, row block columns
+- :mod:`repro.compression` — dictionary / delta / bitpack / LZ codecs
+- :mod:`repro.shm` — segments, leaf metadata, the Figure-4 layout
+- :mod:`repro.disk` — the legacy row-format backup and its recovery
+- :mod:`repro.core` — the restart engine (the paper's contribution)
+- :mod:`repro.server`, :mod:`repro.ingest`, :mod:`repro.query` — the
+  distributed database around it
+- :mod:`repro.cluster` — rolling upgrades and the Figure-8 dashboard
+- :mod:`repro.sim` — full-scale timings from a calibrated cost model
+- :mod:`repro.workloads` — synthetic monitoring workloads
+"""
+
+from repro.cluster import (
+    CanaryDeployment,
+    Cluster,
+    Dashboard,
+    ProcessDeployment,
+    RolloverCoordinator,
+    RolloverMonitor,
+    render_dashboard,
+)
+from repro.columnstore import LeafMap, RowBlock, RowBlockColumn, Schema, Table
+from repro.core import CooperativeDeadline, RecoveryMethod, RestartEngine, RestartReport
+from repro.disk import DiskBackup
+from repro.errors import ReproError
+from repro.ingest import ScribeLog, Tailer
+from repro.query import Aggregation, Filter, Query, QueryResult
+from repro.server import (
+    Aggregator,
+    LeafProcess,
+    LeafServer,
+    LeafStatus,
+    Machine,
+    RetentionEnforcer,
+    RetentionPolicy,
+)
+from repro.shm import LeafMetadata, ShmSegment
+from repro.sim import HardwareProfile, paper_profile, simulate_rollover
+from repro.types import TIME_COLUMN, ColumnType
+from repro.util.clock import ManualClock, SystemClock
+from repro.util.memtrack import MemoryTracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregation",
+    "CanaryDeployment",
+    "Aggregator",
+    "Cluster",
+    "ColumnType",
+    "CooperativeDeadline",
+    "Dashboard",
+    "DiskBackup",
+    "Filter",
+    "HardwareProfile",
+    "LeafMap",
+    "LeafMetadata",
+    "LeafServer",
+    "LeafStatus",
+    "LeafProcess",
+    "Machine",
+    "ManualClock",
+    "ProcessDeployment",
+    "MemoryTracker",
+    "Query",
+    "QueryResult",
+    "RecoveryMethod",
+    "ReproError",
+    "RestartEngine",
+    "RestartReport",
+    "RetentionEnforcer",
+    "RetentionPolicy",
+    "RolloverCoordinator",
+    "RolloverMonitor",
+    "RowBlock",
+    "RowBlockColumn",
+    "Schema",
+    "ScribeLog",
+    "ShmSegment",
+    "SystemClock",
+    "TIME_COLUMN",
+    "Table",
+    "Tailer",
+    "paper_profile",
+    "render_dashboard",
+    "simulate_rollover",
+    "__version__",
+]

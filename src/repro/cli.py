@@ -1,0 +1,172 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``sim-rollover``   — full-scale rollover timings and the Figure-8 view
+- ``availability``   — weekly availability for a deploy cadence
+- ``inspect-shm``    — examine a leaf's shared memory state (read-only)
+- ``bench-restart``  — a real scaled disk-vs-shm restart on this machine
+- ``leaf-worker``    — run one leaf server process (the deployment unit)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import uuid
+from dataclasses import replace
+
+from repro.cluster.dashboard import render_dashboard
+from repro.sim.availability import weekly_availability
+from repro.sim.hardware import HOUR, MINUTE, paper_profile
+from repro.sim.rollover import simulate_rollover
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.1f} h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.1f} min"
+    return f"{seconds:.1f} s"
+
+
+def cmd_sim_rollover(args: argparse.Namespace) -> int:
+    profile = paper_profile()
+    if args.leaves_per_machine is not None:
+        profile = replace(profile, leaves_per_machine=args.leaves_per_machine)
+    result = simulate_rollover(
+        profile, args.machines, args.strategy, args.batch_fraction
+    )
+    print(
+        f"{result.strategy} rollover of {result.leaves_total} leaves on "
+        f"{result.n_machines} machines ({result.batch_size} at a time):"
+    )
+    print(f"  restarts:        {_fmt_duration(result.restart_seconds)}")
+    print(f"  incl. deploy sw: {_fmt_duration(result.total_seconds)}")
+    print(f"  per-leaf offline: {_fmt_duration(result.per_leaf_offline_seconds)}")
+    print(f"  availability:    mean {result.mean_availability:.2%}, "
+          f"min {result.min_availability:.2%}")
+    if args.dashboard:
+        print(render_dashboard(result.dashboard, width=48, max_rows=args.dashboard))
+    return 0
+
+
+def cmd_availability(args: argparse.Namespace) -> int:
+    report = weekly_availability(
+        args.rollover_hours * HOUR, args.per_week, args.availability_during
+    )
+    print(f"rollovers: {args.per_week}/week x {args.rollover_hours:.1f} h")
+    print(f"  fully available:        {report.fully_available_fraction:.2%}")
+    print(f"  mean data availability: {report.mean_data_availability:.3%}")
+    return 0
+
+
+def cmd_inspect_shm(args: argparse.Namespace) -> int:
+    from repro.shm.inspect import format_leaf_info, inspect_leaf
+
+    info = inspect_leaf(args.namespace, args.leaf_id)
+    print(format_leaf_info(info))
+    return 0 if info.metadata_exists else 1
+
+
+def cmd_bench_restart(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.columnstore.leafmap import LeafMap
+    from repro.core.engine import RestartEngine
+    from repro.disk.backup import DiskBackup
+    from repro.workloads import service_requests
+
+    namespace = f"reprocli-{uuid.uuid4().hex[:8]}"
+    with tempfile.TemporaryDirectory() as tmp:
+        backup = DiskBackup(tmp)
+        leafmap = LeafMap(rows_per_block=4096)
+        leafmap.get_or_create("service_requests").add_rows(
+            service_requests(args.rows)
+        )
+        leafmap.seal_all()
+        data_bytes = sum(t.sealed_nbytes for t in leafmap)
+        backup.sync_leafmap(leafmap)
+        print(f"{args.rows:,} rows, {data_bytes / 1e6:.2f} MB compressed")
+
+        engine = RestartEngine("cli", namespace=namespace, backup=backup)
+        started = time.perf_counter()
+        engine.backup_to_shm(leafmap)
+        copy_out = time.perf_counter() - started
+        print(f"copy to shared memory: {copy_out * 1000:.1f} ms")
+
+        started = time.perf_counter()
+        restored = LeafMap(rows_per_block=4096)
+        RestartEngine("cli", namespace=namespace, backup=backup).restore(restored)
+        shm_restore = time.perf_counter() - started
+        print(f"restore from shared memory: {shm_restore * 1000:.1f} ms")
+
+        started = time.perf_counter()
+        restored = LeafMap(rows_per_block=4096)
+        RestartEngine("cli", namespace=namespace, backup=backup).restore(restored)
+        disk_restore = time.perf_counter() - started
+        print(f"restore from disk: {disk_restore * 1000:.1f} ms")
+        print(f"shared memory was {disk_restore / max(shm_restore, 1e-9):.0f}x faster")
+    return 0
+
+
+def cmd_leaf_worker(args: argparse.Namespace, extra: list[str]) -> int:
+    from repro.server.process_worker import main as worker_main
+
+    return worker_main(extra)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast database restarts (SIGMOD 2014), reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sim-rollover", help="simulate a full-scale rollover")
+    p.add_argument("--machines", type=int, default=100)
+    p.add_argument("--strategy", choices=("shm", "disk"), default="shm")
+    p.add_argument("--batch-fraction", type=float, default=0.02)
+    p.add_argument("--leaves-per-machine", type=int, default=None)
+    p.add_argument("--dashboard", type=int, default=0, metavar="ROWS",
+                   help="also render the Figure-8 dashboard with ROWS rows")
+    p.set_defaults(func=cmd_sim_rollover)
+
+    p = sub.add_parser("availability", help="weekly availability for a cadence")
+    p.add_argument("--rollover-hours", type=float, required=True)
+    p.add_argument("--per-week", type=float, default=1.0)
+    p.add_argument("--availability-during", type=float, default=0.98)
+    p.set_defaults(func=cmd_availability)
+
+    p = sub.add_parser("inspect-shm", help="examine a leaf's shared memory state")
+    p.add_argument("--namespace", default="scuba")
+    p.add_argument("--leaf-id", required=True)
+    p.set_defaults(func=cmd_inspect_shm)
+
+    p = sub.add_parser("bench-restart", help="real scaled disk-vs-shm restart")
+    p.add_argument("--rows", type=int, default=20_000)
+    p.set_defaults(func=cmd_bench_restart)
+
+    sub.add_parser(
+        "leaf-worker",
+        help="run a leaf server worker (args forwarded; see "
+        "repro.server.process_worker)",
+        add_help=False,
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "leaf-worker":
+        from repro.server.process_worker import main as worker_main
+
+        return worker_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""The rollover dashboard (paper, Figure 8).
+
+At each sampling instant the dashboard records how many leaves run the
+old version, are mid-rollover, and run the new version, plus the fraction
+of data available to queries.  ``render_dashboard`` produces an ASCII
+picture in the spirit of Figure 8's four snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DashboardSample:
+    """One instant of a rollover."""
+
+    timestamp: float
+    old_version: int
+    rolling_over: int
+    new_version: int
+    availability: float
+
+    @property
+    def total(self) -> int:
+        return self.old_version + self.rolling_over + self.new_version
+
+
+@dataclass
+class Dashboard:
+    """An append-only series of rollover samples."""
+
+    samples: list[DashboardSample] = field(default_factory=list)
+
+    def record(
+        self,
+        timestamp: float,
+        old_version: int,
+        rolling_over: int,
+        new_version: int,
+        availability: float,
+    ) -> DashboardSample:
+        sample = DashboardSample(
+            timestamp, old_version, rolling_over, new_version, availability
+        )
+        self.samples.append(sample)
+        return sample
+
+    @property
+    def duration(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return self.samples[-1].timestamp - self.samples[0].timestamp
+
+    @property
+    def min_availability(self) -> float:
+        if not self.samples:
+            return 1.0
+        return min(sample.availability for sample in self.samples)
+
+    def mean_availability(self) -> float:
+        """Time-weighted average availability across the rollover."""
+        if len(self.samples) < 2:
+            return 1.0 if not self.samples else self.samples[0].availability
+        weighted = 0.0
+        span = 0.0
+        for before, after in zip(self.samples, self.samples[1:]):
+            dt = after.timestamp - before.timestamp
+            weighted += before.availability * dt
+            span += dt
+        return weighted / span if span else self.samples[-1].availability
+
+
+def render_dashboard(
+    dashboard: Dashboard, width: int = 60, max_rows: int = 12
+) -> str:
+    """ASCII rendering: one bar per sample, split old/rolling/new.
+
+    ``#`` = old version, ``~`` = rolling over, ``=`` = new version —
+    mirroring the three shades of Figure 8.
+    """
+    if not dashboard.samples:
+        return "(no samples)"
+    samples = dashboard.samples
+    if len(samples) > max_rows:
+        step = (len(samples) - 1) / (max_rows - 1)
+        samples = [samples[round(i * step)] for i in range(max_rows)]
+    t0 = samples[0].timestamp
+    lines = [
+        f"{'t (s)':>10}  {'old':>5} {'roll':>5} {'new':>5}  {'avail':>6}  bar",
+    ]
+    for sample in samples:
+        total = max(1, sample.total)
+        n_old = round(width * sample.old_version / total)
+        n_roll = round(width * sample.rolling_over / total)
+        n_new = width - n_old - n_roll
+        bar = "#" * n_old + "~" * n_roll + "=" * max(0, n_new)
+        lines.append(
+            f"{sample.timestamp - t0:>10.1f}  {sample.old_version:>5} "
+            f"{sample.rolling_over:>5} {sample.new_version:>5}  "
+            f"{sample.availability:>6.1%}  |{bar[:width]}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Rollover progress monitoring.
+
+"We therefore monitor the rollover process closely, to make sure it is
+making progress" (paper, §4.5) — and the whole point of the fast restart
+path is to stop burning an engineer's day on that.  This module encodes
+the monitoring rules as code: progress rate, ETA, and stall/availability
+alerts computed from the same :class:`~repro.cluster.dashboard.Dashboard`
+samples the Figure-8 view renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.dashboard import Dashboard
+
+
+@dataclass(frozen=True)
+class RolloverProgress:
+    """A point-in-time reading of a rollover."""
+
+    timestamp: float
+    fraction_done: float
+    upgrade_rate_per_second: float
+    eta_seconds: float | None
+    stalled: bool
+    availability: float
+    alerts: tuple[str, ...]
+
+
+class RolloverMonitor:
+    """Derives progress/ETA/alerts from dashboard samples.
+
+    Parameters
+    ----------
+    stall_seconds:
+        No leaf finishing within this window flags the rollover stalled
+        (the condition that used to page the engineer).
+    min_availability:
+        An availability sample below this raises an alert — the batch
+        policy is supposed to bound unavailability at the batch size.
+    """
+
+    def __init__(
+        self,
+        dashboard: Dashboard,
+        stall_seconds: float = 1800.0,
+        min_availability: float = 0.97,
+    ) -> None:
+        if stall_seconds <= 0:
+            raise ValueError("stall window must be positive")
+        if not 0 <= min_availability <= 1:
+            raise ValueError("availability threshold must be a fraction")
+        self.dashboard = dashboard
+        self.stall_seconds = stall_seconds
+        self.min_availability = min_availability
+
+    def progress(self) -> RolloverProgress:
+        """The current reading; raises if there are no samples yet."""
+        samples = self.dashboard.samples
+        if not samples:
+            raise ValueError("no dashboard samples recorded yet")
+        latest = samples[-1]
+        total = max(1, latest.total)
+        fraction = latest.new_version / total
+        rate = self._recent_rate()
+        remaining = total - latest.new_version
+        eta = remaining / rate if rate > 0 else None
+        stalled = self._is_stalled()
+        alerts = []
+        if stalled and remaining > 0:
+            alerts.append(
+                f"no leaf finished in the last {self.stall_seconds:.0f}s; "
+                "rollover may be stuck"
+            )
+        if latest.availability < self.min_availability:
+            alerts.append(
+                f"availability {latest.availability:.1%} below the "
+                f"{self.min_availability:.0%} floor"
+            )
+        return RolloverProgress(
+            timestamp=latest.timestamp,
+            fraction_done=fraction,
+            upgrade_rate_per_second=rate,
+            eta_seconds=eta,
+            stalled=stalled,
+            availability=latest.availability,
+            alerts=tuple(alerts),
+        )
+
+    def _recent_rate(self) -> float:
+        """Leaves upgraded per second over the trailing half of samples."""
+        samples = self.dashboard.samples
+        if len(samples) < 2:
+            return 0.0
+        window = samples[max(0, len(samples) // 2) - 1 :]
+        first, last = window[0], window[-1]
+        dt = last.timestamp - first.timestamp
+        if dt <= 0:
+            return 0.0
+        return max(0.0, (last.new_version - first.new_version) / dt)
+
+    def _is_stalled(self) -> bool:
+        samples = self.dashboard.samples
+        if len(samples) < 2:
+            return False
+        latest = samples[-1]
+        if latest.new_version >= latest.total:
+            return False
+        # Find the last sample where the upgraded count advanced.
+        last_advance = samples[0].timestamp
+        for before, after in zip(samples, samples[1:]):
+            if after.new_version > before.new_version:
+                last_advance = after.timestamp
+        return latest.timestamp - last_advance >= self.stall_seconds
+
+
+def format_progress(progress: RolloverProgress) -> str:
+    """One log line the way an on-call would want it."""
+    eta = "done" if progress.fraction_done >= 1 else (
+        f"ETA {progress.eta_seconds / 60:.0f} min"
+        if progress.eta_seconds is not None
+        else "ETA unknown"
+    )
+    line = (
+        f"[rollover] {progress.fraction_done:.1%} complete, "
+        f"{progress.upgrade_rate_per_second * 60:.1f} leaves/min, {eta}, "
+        f"availability {progress.availability:.1%}"
+    )
+    if progress.alerts:
+        line += " | ALERTS: " + "; ".join(progress.alerts)
+    return line

@@ -1,0 +1,93 @@
+"""The leaf map: the root of a leaf server's heap data (paper, Figure 2).
+
+"There is a leaf map containing a vector of pointers, one pointer to each
+table."  Here it is a name-keyed mapping of :class:`Table` objects plus
+the aggregate accounting the tailer's routing decisions need (free memory
+= capacity minus total bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.columnstore.table import Table
+from repro.errors import SchemaError
+from repro.util.clock import Clock, SystemClock
+
+
+class LeafMap:
+    """All tables of one leaf server."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        rows_per_block: int | None = None,
+    ) -> None:
+        self._clock = clock or SystemClock()
+        self._rows_per_block = rows_per_block
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def create_table(self, name: str) -> Table:
+        """Create an empty table; refuses to overwrite an existing one."""
+        if name in self._tables:
+            raise SchemaError(f"table '{name}' already exists")
+        kwargs = {}
+        if self._rows_per_block is not None:
+            kwargs["rows_per_block"] = self._rows_per_block
+        table = Table(name, clock=self._clock, **kwargs)
+        self._tables[name] = table
+        return table
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table '{name}'") from None
+
+    def get_or_create(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            table = self.create_table(name)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"no such table '{name}'")
+        del self._tables[name]
+
+    def adopt_table(self, table: Table) -> None:
+        """Install a recovered table object (restore path)."""
+        if table.name in self._tables:
+            raise SchemaError(f"table '{table.name}' already exists")
+        self._tables[table.name] = table
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across every table (sealed plus buffered)."""
+        return sum(table.nbytes for table in self._tables.values())
+
+    @property
+    def row_count(self) -> int:
+        return sum(table.row_count for table in self._tables.values())
+
+    def seal_all(self) -> None:
+        """Seal every table's write buffer (shutdown prepare step)."""
+        for table in self._tables.values():
+            table.seal_buffer()
+
+    def snapshot_rows(self) -> dict[str, list[dict]]:
+        """table name → all rows; used to assert restart equivalence."""
+        return {name: table.to_rows() for name, table in self._tables.items()}

@@ -1,0 +1,255 @@
+"""Row blocks (paper, Figure 2).
+
+A row block holds all the data for a set of up to 65,536 consecutively
+arrived rows: a header (size, row count, min/max timestamps, creation
+timestamp), a schema, and one row block column per schema column.
+
+In heap format the RBC buffers are separate allocations referenced by a
+vector (one level of indirection).  ``pack``/``unpack`` convert to and from
+the *contiguous* layout of Figure 4, where the header, schema, column
+offset table, and all RBC payloads occupy a single buffer — the form used
+inside shared memory segments and by the shm-format disk files of
+experiment E12.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Mapping
+
+from repro.columnstore.rbc import RowBlockColumn, build_rbc
+from repro.columnstore.schema import Schema
+from repro.errors import CapacityError, CorruptionError, LayoutVersionError, SchemaError
+from repro.types import TIME_COLUMN, ColumnValue
+from repro.util.binary import BufferReader, BufferWriter
+
+#: Paper: "Each row block contains 65,536 rows that arrived consecutively."
+ROWS_PER_BLOCK = 65536
+
+#: Paper: "The row block is capped at 1 GB, pre-compression."
+MAX_ROWBLOCK_BYTES = 1 << 30
+
+ROWBLOCK_MAGIC = 0x4B4C4252  # "RBLK"
+ROWBLOCK_VERSION = 1
+
+PACK_HEADER = struct.Struct("<IHHQQqqd")  # magic, ver, pad, total, rows, min, max, created
+
+
+class RowBlock:
+    """An immutable sealed row block in heap format."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        rbcs: dict[str, bytes],
+        row_count: int,
+        min_time: int,
+        max_time: int,
+        created_at: float,
+    ) -> None:
+        if set(rbcs) != set(schema.names):
+            raise SchemaError("row block columns do not match the schema")
+        self.schema = schema
+        self._rbcs = rbcs
+        self.row_count = row_count
+        self.min_time = min_time
+        self.max_time = max_time
+        self.created_at = created_at
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: list[Mapping[str, ColumnValue]],
+        created_at: float,
+        schema: Schema | None = None,
+    ) -> "RowBlock":
+        """Seal ``rows`` into a compressed row block.
+
+        This is the expensive "translate to in-memory format" step: every
+        column is extracted, compressed, and serialized into its RBC
+        buffer.
+        """
+        if not rows:
+            raise ValueError("a row block must contain at least one row")
+        if len(rows) > ROWS_PER_BLOCK:
+            raise CapacityError(
+                f"{len(rows)} rows exceed the {ROWS_PER_BLOCK}-row block cap"
+            )
+        if schema is None:
+            schema = Schema.from_rows(rows)
+        times = [row[TIME_COLUMN] for row in rows]
+        rbcs = {
+            name: build_rbc(ctype, schema.column_values(name, rows))
+            for name, ctype in schema.items()
+        }
+        return cls(
+            schema,
+            rbcs,
+            row_count=len(rows),
+            min_time=min(times),
+            max_time=max(times),
+            created_at=created_at,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size: the sum of the RBC buffers."""
+        return sum(len(buf) for buf in self._rbcs.values())
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    def rbc_buffer(self, name: str) -> bytes:
+        """The raw RBC buffer for one column (the unit of copying)."""
+        try:
+            return self._rbcs[name]
+        except KeyError:
+            raise SchemaError(f"row block has no column '{name}'") from None
+
+    def rbc_buffers(self) -> Iterable[tuple[str, bytes]]:
+        """(name, buffer) pairs in schema order — the shutdown copy loop."""
+        for name in self.schema.names:
+            yield name, self._rbcs[name]
+
+    def column_values(self, name: str) -> list[ColumnValue]:
+        """Decode one column back to Python values."""
+        column = RowBlockColumn(self._rbcs[name])
+        values = column.values(self.schema.type_of(name))
+        if len(values) != self.row_count:
+            raise CorruptionError(
+                f"column '{name}' decodes to {len(values)} values; row block "
+                f"header says {self.row_count} rows"
+            )
+        return values
+
+    def to_rows(self) -> list[dict[str, ColumnValue]]:
+        """Materialize all rows (column defaults included — lossy only in
+        that a row that omitted a column comes back with the default)."""
+        columns = {name: self.column_values(name) for name in self.schema.names}
+        return [
+            {name: columns[name][i] for name in self.schema.names}
+            for i in range(self.row_count)
+        ]
+
+    def overlaps(self, start_time: int | None, end_time: int | None) -> bool:
+        """Whether any row's timestamp could fall in ``[start, end)``.
+
+        This is the min/max pruning the paper describes: "the minimum and
+        maximum timestamps are used to decide whether to even look at a
+        row block when processing a query."
+        """
+        if start_time is not None and self.max_time < start_time:
+            return False
+        if end_time is not None and self.min_time >= end_time:
+            return False
+        return True
+
+    def release_column(self, name: str) -> int:
+        """Drop one column's heap buffer, returning its size.
+
+        Used only by the restart engine's shutdown loop: after an RBC has
+        been copied into shared memory its heap bytes are freed
+        immediately (paper, Figure 6).  The block is unusable for queries
+        afterwards.
+        """
+        try:
+            buf = self._rbcs.pop(name)
+        except KeyError:
+            raise SchemaError(f"row block has no column '{name}'") from None
+        return len(buf)
+
+    def verify(self) -> None:
+        """Checksum-verify every column buffer."""
+        for name in self.schema.names:
+            RowBlockColumn(self._rbcs[name]).verify()
+
+    # ------------------------------------------------------------------
+    # Contiguous (shared memory / new disk) layout
+    # ------------------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize to the contiguous Figure-4 layout.
+
+        ``header | schema | column offset table | RBC0 .. RBCk`` — the
+        offset table replaces the heap's per-column pointer vector, which
+        is the "one level of indirection" the shared memory layout loses.
+        """
+        writer = BufferWriter()
+        writer.write_bytes(b"\x00" * PACK_HEADER.size)  # patched below
+        self.schema.serialize(writer)
+        names = self.schema.names
+        writer.write_varint(len(names))
+        offset_slots = [writer.reserve_u64() for _ in names]
+        for slot, name in zip(offset_slots, names):
+            writer.patch_u64(slot, writer.offset)
+            writer.write_bytes(self._rbcs[name])
+        buf = bytearray(writer.getvalue())
+        PACK_HEADER.pack_into(
+            buf,
+            0,
+            ROWBLOCK_MAGIC,
+            ROWBLOCK_VERSION,
+            0,
+            len(buf),
+            self.row_count,
+            self.min_time,
+            self.max_time,
+            self.created_at,
+        )
+        return bytes(buf)
+
+    @classmethod
+    def unpack(cls, buf: bytes | memoryview) -> "RowBlock":
+        """Parse a contiguous row block back into heap format.
+
+        The RBC payloads are copied out into fresh heap ``bytes`` — this
+        is exactly the restore path's heap re-allocation.
+        """
+        if len(buf) < PACK_HEADER.size:
+            raise CorruptionError("packed row block shorter than its header")
+        view = memoryview(buf)
+        magic, version, _, total, row_count, min_time, max_time, created_at = (
+            PACK_HEADER.unpack(view[: PACK_HEADER.size])
+        )
+        if magic != ROWBLOCK_MAGIC:
+            raise CorruptionError(f"bad row block magic 0x{magic:08x}")
+        if version != ROWBLOCK_VERSION:
+            raise LayoutVersionError(
+                f"row block layout version {version} not readable by this build"
+            )
+        if total != len(view):
+            raise CorruptionError(
+                f"packed row block claims {total} bytes but buffer holds {len(view)}"
+            )
+        reader = BufferReader(view, offset=PACK_HEADER.size)
+        schema = Schema.deserialize(reader)
+        n_columns = reader.read_varint()
+        if n_columns != len(schema):
+            raise CorruptionError(
+                f"offset table has {n_columns} entries for a {len(schema)}-column schema"
+            )
+        offsets = [reader.read_u64() for _ in range(n_columns)]
+        rbcs: dict[str, bytes] = {}
+        for name, offset in zip(schema.names, offsets):
+            if not PACK_HEADER.size <= offset < total:
+                raise CorruptionError(f"column '{name}' offset {offset} out of bounds")
+            # The RBC header records its own total size; slice exactly.
+            column = RowBlockColumn(view[offset : offset + _rbc_size_at(view, offset)])
+            rbcs[name] = column.copy_bytes()
+        return cls(schema, rbcs, row_count, min_time, max_time, created_at)
+
+
+def _rbc_size_at(view: memoryview, offset: int) -> int:
+    """Read the total-size field of the RBC starting at ``offset``."""
+    if offset + 16 > len(view):
+        raise CorruptionError("RBC header overruns the packed row block")
+    return struct.unpack_from("<Q", view, offset + 8)[0]

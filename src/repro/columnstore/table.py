@@ -1,0 +1,212 @@
+"""Tables: a vector of sealed row blocks plus an open write buffer.
+
+New rows land in a row-oriented write buffer; once 65,536 rows (or the
+1 GB pre-compression cap) accumulate, the buffer is sealed into a
+compressed :class:`RowBlock`.  Tables also delete data "as it expires due
+to either age or size limits" (paper, Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.columnstore.rowblock import MAX_ROWBLOCK_BYTES, ROWS_PER_BLOCK, RowBlock
+from repro.errors import SchemaError
+from repro.types import TIME_COLUMN, ColumnValue
+from repro.util.clock import Clock, SystemClock
+
+
+def estimate_row_bytes(row: Mapping[str, ColumnValue]) -> int:
+    """Rough pre-compression size of one row, for the 1 GB block cap."""
+    total = 0
+    for name, value in row.items():
+        total += len(name) + 8
+        if isinstance(value, str):
+            total += len(value)
+        elif isinstance(value, list):
+            total += sum(len(item) + 4 for item in value)
+        else:
+            total += 8
+    return total
+
+
+class Table:
+    """One table's shard on one leaf server (paper, Figure 2).
+
+    The header fields of Figure 2 — table name and row block count — are
+    the ``name`` attribute and ``len(table.blocks)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock | None = None,
+        rows_per_block: int = ROWS_PER_BLOCK,
+        max_block_bytes: int = MAX_ROWBLOCK_BYTES,
+    ) -> None:
+        if not name:
+            raise ValueError("table name must be non-empty")
+        if rows_per_block < 1:
+            raise ValueError("rows_per_block must be positive")
+        self.name = name
+        self._clock = clock or SystemClock()
+        self._rows_per_block = rows_per_block
+        self._max_block_bytes = max_block_bytes
+        self._blocks: list[RowBlock] = []
+        self._buffer: list[dict[str, ColumnValue]] = []
+        self._buffer_bytes = 0
+        #: Rows ever ingested / ever expired — monotone counters the
+        #: incremental disk backup uses as sync watermarks.
+        self.total_rows_ingested = 0
+        self.total_rows_expired = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def add_row(self, row: Mapping[str, ColumnValue]) -> None:
+        """Append one row; seals a row block when a cap is reached."""
+        if TIME_COLUMN not in row:
+            raise SchemaError(f"row lacks the required '{TIME_COLUMN}' column")
+        time_value = row[TIME_COLUMN]
+        if not isinstance(time_value, int) or isinstance(time_value, bool):
+            raise SchemaError(f"'{TIME_COLUMN}' must be an integer unix timestamp")
+        self._buffer.append(dict(row))
+        self._buffer_bytes += estimate_row_bytes(row)
+        self.total_rows_ingested += 1
+        if (
+            len(self._buffer) >= self._rows_per_block
+            or self._buffer_bytes >= self._max_block_bytes
+        ):
+            self.seal_buffer()
+
+    def add_rows(self, rows: Iterable[Mapping[str, ColumnValue]]) -> int:
+        """Append many rows; returns the number added."""
+        count = 0
+        for row in rows:
+            self.add_row(row)
+            count += 1
+        return count
+
+    def seal_buffer(self) -> RowBlock | None:
+        """Compress the write buffer into a row block; no-op when empty."""
+        if not self._buffer:
+            return None
+        block = RowBlock.from_rows(self._buffer, created_at=self._clock.now())
+        self._blocks.append(block)
+        self._buffer = []
+        self._buffer_bytes = 0
+        return block
+
+    # ------------------------------------------------------------------
+    # Expiry (age and size limits)
+    # ------------------------------------------------------------------
+
+    def expire_before(self, cutoff_time: int) -> int:
+        """Drop sealed row blocks entirely older than ``cutoff_time``.
+
+        Expiry is block-granular, as in Scuba: a block survives until its
+        *maximum* timestamp has aged out.  Returns rows dropped.
+        """
+        kept: list[RowBlock] = []
+        dropped_rows = 0
+        for block in self._blocks:
+            if block.max_time < cutoff_time:
+                dropped_rows += block.row_count
+            else:
+                kept.append(block)
+        self._blocks = kept
+        self.total_rows_expired += dropped_rows
+        return dropped_rows
+
+    def enforce_size_limit(self, max_bytes: int) -> int:
+        """Drop oldest row blocks until compressed size fits ``max_bytes``."""
+        dropped_rows = 0
+        while self._blocks and self.sealed_nbytes > max_bytes:
+            dropped_rows += self._blocks.pop(0).row_count
+        self.total_rows_expired += dropped_rows
+        return dropped_rows
+
+    # ------------------------------------------------------------------
+    # Introspection / scan
+    # ------------------------------------------------------------------
+
+    @property
+    def blocks(self) -> list[RowBlock]:
+        """The sealed row blocks, oldest first."""
+        return list(self._blocks)
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def row_count(self) -> int:
+        """Rows across sealed blocks and the open buffer."""
+        return sum(block.row_count for block in self._blocks) + len(self._buffer)
+
+    @property
+    def sealed_nbytes(self) -> int:
+        return sum(block.nbytes for block in self._blocks)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed sealed bytes plus the buffer's rough estimate."""
+        return self.sealed_nbytes + self._buffer_bytes
+
+    @property
+    def buffered_row_count(self) -> int:
+        return len(self._buffer)
+
+    def scan(
+        self,
+        start_time: int | None = None,
+        end_time: int | None = None,
+    ) -> Iterator[dict[str, ColumnValue]]:
+        """Yield rows whose timestamp falls in ``[start_time, end_time)``.
+
+        Sealed blocks outside the range are pruned via their min/max
+        timestamps without being decompressed.
+        """
+        for block in self._blocks:
+            if not block.overlaps(start_time, end_time):
+                continue
+            for row in block.to_rows():
+                if _time_in_range(row[TIME_COLUMN], start_time, end_time):
+                    yield row
+        for row in self._buffer:
+            if _time_in_range(row[TIME_COLUMN], start_time, end_time):
+                yield dict(row)
+
+    def to_rows(self) -> list[dict[str, ColumnValue]]:
+        """Every row in the table (for equality checks in tests)."""
+        return list(self.scan())
+
+    # ------------------------------------------------------------------
+    # Restart engine hooks
+    # ------------------------------------------------------------------
+
+    def replace_blocks(self, blocks: list[RowBlock]) -> None:
+        """Install recovered row blocks (memory or disk recovery)."""
+        self._blocks = list(blocks)
+
+    def take_blocks(self) -> list[RowBlock]:
+        """Remove and return all sealed blocks (shutdown copy loop).
+
+        The caller becomes responsible for the blocks; the table is left
+        empty so its heap bytes can be freed block-by-block as the copy
+        proceeds (paper, Figure 6).
+        """
+        blocks = self._blocks
+        self._blocks = []
+        return blocks
+
+
+def _time_in_range(
+    timestamp: ColumnValue, start_time: int | None, end_time: int | None
+) -> bool:
+    if start_time is not None and timestamp < start_time:
+        return False
+    if end_time is not None and timestamp >= end_time:
+        return False
+    return True

@@ -1,0 +1,129 @@
+"""An LZ77-style byte compressor, implemented from scratch.
+
+This is the stand-in for lz4 in the paper's codec list.  It uses the same
+structural idea as the lz4 block format — a greedy parse with a hash table
+over 4-byte prefixes, emitting alternating literal runs and back-references
+— with varint-coded lengths instead of lz4's nibble tokens, which keeps the
+pure-Python encoder and decoder short and unambiguous.
+
+Stream format (repeated until input is exhausted)::
+
+    varint literal_len
+    literal_len raw bytes
+    varint match_len        # 0 only in the final token (no match follows)
+    varint match_distance   # >= 1, distance back from current position
+
+The compressor never expands pathologically: callers (the pipeline) compare
+output to input size and fall back to RAW when compression does not pay.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptionError
+from repro.util.binary import decode_varint, encode_varint
+
+_MIN_MATCH = 4
+_MAX_CHAIN = 16  # how many hash-bucket candidates the encoder probes
+_WINDOW = 1 << 16  # maximum back-reference distance
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    """Hash of the 4 bytes at ``pos`` (Fibonacci hashing, as in lz4)."""
+    word = data[pos] | data[pos + 1] << 8 | data[pos + 2] << 16 | data[pos + 3] << 24
+    return (word * 2654435761) >> 18 & 0x3FFF
+
+
+def lz_compress(data: bytes | memoryview) -> bytes:
+    """Compress ``data``; the empty input compresses to the empty output."""
+    data = bytes(data)
+    n = len(data)
+    if n == 0:
+        return b""
+    out = bytearray()
+    table: dict[int, list[int]] = {}
+    pos = 0
+    literal_start = 0
+    while pos + _MIN_MATCH <= n:
+        key = _hash4(data, pos)
+        candidates = table.get(key)
+        best_len = 0
+        best_dist = 0
+        if candidates:
+            for cand in reversed(candidates[-_MAX_CHAIN:]):
+                dist = pos - cand
+                if dist > _WINDOW:
+                    break
+                # Verify and extend the match.
+                match_len = 0
+                limit = n - pos
+                while (
+                    match_len < limit
+                    and data[cand + match_len] == data[pos + match_len]
+                ):
+                    match_len += 1
+                if match_len > best_len:
+                    best_len = match_len
+                    best_dist = dist
+        table.setdefault(key, []).append(pos)
+        if best_len >= _MIN_MATCH:
+            out += encode_varint(pos - literal_start)
+            out += data[literal_start:pos]
+            out += encode_varint(best_len)
+            out += encode_varint(best_dist)
+            # Index a sparse sample of positions inside the match so later
+            # matches can still find this region without O(n) inserts.
+            end = pos + best_len
+            step = max(1, best_len // 8)
+            probe = pos + 1
+            while probe + _MIN_MATCH <= min(end, n - _MIN_MATCH + 1):
+                table.setdefault(_hash4(data, probe), []).append(probe)
+                probe += step
+            pos = end
+            literal_start = pos
+        else:
+            pos += 1
+    # Final token: trailing literals with match_len 0.
+    out += encode_varint(n - literal_start)
+    out += data[literal_start:]
+    out += encode_varint(0)
+    out += encode_varint(0)
+    return bytes(out)
+
+
+def lz_decompress(data: bytes | memoryview) -> bytes:
+    """Invert :func:`lz_compress`.
+
+    Raises :class:`CorruptionError` on truncated streams or references
+    reaching before the start of the output.
+    """
+    data = bytes(data)
+    if not data:
+        return b""
+    out = bytearray()
+    pos = 0
+    n = len(data)
+    while pos < n:
+        literal_len, pos = decode_varint(data, pos)
+        if pos + literal_len > n:
+            raise CorruptionError("LZ literal run overruns the compressed stream")
+        out += data[pos : pos + literal_len]
+        pos += literal_len
+        match_len, pos = decode_varint(data, pos)
+        match_dist, pos = decode_varint(data, pos)
+        if match_len == 0:
+            if match_dist != 0:
+                raise CorruptionError("LZ terminator token has nonzero distance")
+            break
+        if match_dist == 0 or match_dist > len(out):
+            raise CorruptionError(
+                f"LZ back-reference distance {match_dist} outside the "
+                f"{len(out)} bytes produced so far"
+            )
+        # Overlapping copies are legal (distance < length repeats bytes),
+        # so copy byte ranges chunk-wise from the already-produced output.
+        start = len(out) - match_dist
+        for i in range(match_len):
+            out.append(out[start + i])
+    else:
+        raise CorruptionError("LZ stream ended without a terminator token")
+    return bytes(out)

@@ -1,0 +1,183 @@
+"""Per-type compression pipelines.
+
+``encode_column`` turns a homogeneous list of values into an
+:class:`~repro.compression.base.EncodedColumn`; ``decode_column`` inverts
+it given only the information a row block column header carries (type,
+flags, item counts).  Method selection follows Scuba's combination rules
+(paper, Section 2.1 — "at least two methods applied to each column"):
+
+- INT64    → zigzag + bitpack, with delta added when it narrows the width
+- FLOAT64  → byte shuffle + LZ, raw fallback when incompressible
+- STRING   → dictionary + bitpacked ids (LZ'd dictionary when it pays);
+             raw + LZ fallback for near-unique columns
+- VECTOR   → bitpacked per-row lengths + flattened dictionary encoding
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressionFlags, EncodedColumn
+from repro.compression.dictionary import (
+    decode_dictionary_entries,
+    dictionary_encode,
+)
+from repro.compression.floatcodec import (
+    decode_float64_payload,
+    encode_float64_payload,
+)
+from repro.compression.intcodec import decode_int64_payload, encode_int64_payload
+from repro.compression.lzs import lz_compress, lz_decompress
+from repro.errors import CorruptionError
+from repro.types import ColumnType, ColumnValue
+from repro.util.binary import BufferReader, BufferWriter
+from repro.util.bits import pack_uints, required_bit_width, unpack_uints
+
+#: A string column whose distinct/total ratio exceeds this is stored raw
+#: (near-unique request ids gain nothing from a dictionary).
+_DICT_CARDINALITY_CUTOFF = 0.9
+
+
+def _maybe_lz_dictionary(dictionary: bytes) -> tuple[CompressionFlags, bytes]:
+    """LZ the dictionary section when that actually shrinks it."""
+    if len(dictionary) < 64:
+        return CompressionFlags.RAW, dictionary
+    compressed = lz_compress(dictionary)
+    if len(compressed) < len(dictionary):
+        return CompressionFlags.DICT_LZ, compressed
+    return CompressionFlags.RAW, dictionary
+
+
+def _encode_strings(values: list[str]) -> EncodedColumn:
+    n = len(values)
+    distinct = len(set(values)) if n else 0
+    if n and distinct / n > _DICT_CARDINALITY_CUTOFF:
+        writer = BufferWriter()
+        for value in values:
+            writer.write_str(value)
+        raw = writer.getvalue()
+        compressed = lz_compress(raw)
+        if len(compressed) < len(raw):
+            return EncodedColumn(CompressionFlags.LZ, n, 0, b"", compressed)
+        return EncodedColumn(CompressionFlags.RAW, n, 0, b"", raw)
+    dictionary, ids, n_dict = dictionary_encode(values)
+    dict_flag, dictionary = _maybe_lz_dictionary(dictionary)
+    flags = CompressionFlags.DICT | CompressionFlags.BITPACK | dict_flag
+    return EncodedColumn(flags, n, n_dict, dictionary, ids)
+
+
+def _decode_strings(encoded: EncodedColumn) -> list[str]:
+    flags = encoded.flags
+    if CompressionFlags.DICT in flags:
+        dictionary = encoded.dictionary
+        if CompressionFlags.DICT_LZ in flags:
+            dictionary = lz_decompress(dictionary)
+        entries = decode_dictionary_entries(dictionary, encoded.n_dict_items)
+        if encoded.n_items == 0:
+            return []
+        data = memoryview(encoded.data)
+        if len(data) < 1:
+            raise CorruptionError("string id stream missing its width byte")
+        ids = unpack_uints(data[1:], data[0], encoded.n_items)
+        if encoded.n_dict_items == 0 or int(ids.max(initial=0)) >= encoded.n_dict_items:
+            raise CorruptionError("string dictionary id out of range")
+        return [entries[i] for i in ids]
+    raw = encoded.data
+    if CompressionFlags.LZ in flags:
+        raw = lz_decompress(raw)
+    elif flags != CompressionFlags.RAW:
+        raise CorruptionError(f"unsupported string flag combination: {flags!r}")
+    reader = BufferReader(raw)
+    values = [reader.read_str() for _ in range(encoded.n_items)]
+    if reader.remaining:
+        raise CorruptionError("trailing bytes after raw string column payload")
+    return values
+
+
+def _encode_string_vectors(values: list[list[str]]) -> EncodedColumn:
+    lengths = np.fromiter((len(v) for v in values), dtype=np.uint64, count=len(values))
+    flat: list[str] = [item for vector in values for item in vector]
+    dictionary, ids, n_dict = dictionary_encode(flat)
+    dict_flag, dictionary = _maybe_lz_dictionary(dictionary)
+    writer = BufferWriter()
+    if len(values):
+        length_width = required_bit_width(int(lengths.max(initial=0)))
+        writer.write_u8(length_width)
+        writer.write_varint(len(flat))
+        packed = pack_uints(lengths, length_width)
+        writer.write_varint(len(packed))
+        writer.write_bytes(packed)
+        writer.write_bytes(ids)
+    flags = CompressionFlags.DICT | CompressionFlags.BITPACK | dict_flag
+    return EncodedColumn(flags, len(values), n_dict, dictionary, writer.getvalue())
+
+
+def _decode_string_vectors(encoded: EncodedColumn) -> list[list[str]]:
+    if encoded.n_items == 0:
+        return []
+    dictionary = encoded.dictionary
+    if CompressionFlags.DICT_LZ in encoded.flags:
+        dictionary = lz_decompress(dictionary)
+    entries = decode_dictionary_entries(dictionary, encoded.n_dict_items)
+    reader = BufferReader(encoded.data)
+    length_width = reader.read_u8()
+    n_flat = reader.read_varint()
+    packed_lengths = reader.read_len_prefixed()
+    lengths = unpack_uints(packed_lengths, length_width, encoded.n_items)
+    if int(lengths.sum()) != n_flat:
+        raise CorruptionError(
+            f"vector lengths sum to {int(lengths.sum())} but payload claims "
+            f"{n_flat} flattened items"
+        )
+    if n_flat == 0:
+        return [[] for _ in range(encoded.n_items)]
+    id_view = reader.read_view(reader.remaining)
+    if len(id_view) < 1:
+        raise CorruptionError("vector id stream missing its width byte")
+    ids = unpack_uints(id_view[1:], id_view[0], n_flat)
+    if encoded.n_dict_items == 0 or int(ids.max(initial=0)) >= encoded.n_dict_items:
+        raise CorruptionError("vector dictionary id out of range")
+    flat = [entries[i] for i in ids]
+    out: list[list[str]] = []
+    cursor = 0
+    for length in lengths:
+        out.append(flat[cursor : cursor + int(length)])
+        cursor += int(length)
+    return out
+
+
+def encode_column(ctype: ColumnType, values: list[ColumnValue]) -> EncodedColumn:
+    """Compress one column of ``values`` of type ``ctype``."""
+    if ctype is ColumnType.INT64:
+        flags, payload = encode_int64_payload(np.asarray(values, dtype=np.int64))
+        return EncodedColumn(flags, len(values), 0, b"", payload)
+    if ctype is ColumnType.FLOAT64:
+        flags, payload = encode_float64_payload(np.asarray(values, dtype=np.float64))
+        return EncodedColumn(flags, len(values), 0, b"", payload)
+    if ctype is ColumnType.STRING:
+        return _encode_strings(values)
+    if ctype is ColumnType.STRING_VECTOR:
+        return _encode_string_vectors(values)
+    raise TypeError(f"unknown column type: {ctype!r}")
+
+
+def decode_column(ctype: ColumnType, encoded: EncodedColumn) -> list[ColumnValue]:
+    """Invert :func:`encode_column`, returning plain Python values."""
+    if ctype is ColumnType.INT64:
+        return decode_int64_payload(
+            encoded.flags, encoded.data, encoded.n_items
+        ).tolist()
+    if ctype is ColumnType.FLOAT64:
+        return decode_float64_payload(
+            encoded.flags, encoded.data, encoded.n_items
+        ).tolist()
+    if ctype is ColumnType.STRING:
+        return _decode_strings(encoded)
+    if ctype is ColumnType.STRING_VECTOR:
+        return _decode_string_vectors(encoded)
+    raise TypeError(f"unknown column type: {ctype!r}")
+
+
+def encoded_size(ctype: ColumnType, values: list[ColumnValue]) -> int:
+    """Encoded payload size in bytes — used for compression-ratio benches."""
+    return encode_column(ctype, values).payload_size

@@ -1,0 +1,488 @@
+"""The restart engine: Figures 6 and 7 as executable code.
+
+``backup_to_shm`` is the shutdown procedure of Figure 6::
+
+    create shared memory segment for leaf metadata
+    set valid bit to false
+    for each table
+        estimate size of table
+        create table shared memory segment
+        add table segment to the leaf metadata
+        for each row block
+            grow the table segment in size if needed
+            for each row block column
+                copy data from heap to the table segment
+                delete row block column from heap
+            delete row block from heap
+        delete table from heap
+    set valid bit to true
+
+``restore`` is the restart procedure of Figure 7::
+
+    if valid bit is false
+        delete shared memory segments
+        recover from disk
+        return
+    set valid bit to false
+    for each table shared memory segment
+        for each row block
+            for each row block column
+                allocate memory in heap
+                copy data from table segment to heap
+        truncate the table shared memory segment if needed
+        delete the table shared memory segment
+    delete the metadata shared memory segment
+
+If the restore path is interrupted, the valid bit is already false, so
+the *next* restart goes to disk — the crash-safety property of the
+protocol.  Every heap free and shared memory allocation is reported to a
+:class:`~repro.util.memtrack.MemoryTracker` so the Section 4.4 footprint
+claim is checkable (experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.columnstore.leafmap import LeafMap
+from repro.core.states import (
+    LeafBackupMachine,
+    LeafBackupState,
+    LeafRestoreMachine,
+    LeafRestoreState,
+    TableBackupMachine,
+    TableBackupState,
+    TableRestoreMachine,
+    TableRestoreState,
+)
+from repro.core.watchdog import CooperativeDeadline
+from repro.disk.backup import DiskBackup
+from repro.disk.recovery import recover_leafmap
+from repro.errors import (
+    CorruptionError,
+    LayoutVersionError,
+    RecoveryError,
+    ReproError,
+    ShmError,
+)
+from repro.shm.layout import (
+    SHM_LAYOUT_VERSION,
+    TableSegmentWriter,
+    iter_blocks_from_segment,
+    table_segment_size,
+)
+from repro.shm.metadata import LeafMetadata, TableSegmentRecord
+from repro.shm.segment import ShmSegment, segment_exists
+from repro.util.clock import Clock, SystemClock
+from repro.util.memtrack import MemoryTracker
+
+#: Fault-injection hook points, called as ``fault_hook(point_name)``.
+#: Tests raise from the hook to simulate crashes at protocol boundaries.
+FAULT_POINTS = (
+    "backup:start",
+    "backup:table",
+    "backup:before_valid",
+    "restore:start",
+    "restore:after_invalidate",
+    "restore:table",
+    "restore:before_finish",
+)
+
+
+class RecoveryMethod(Enum):
+    """How a restore obtained its data."""
+
+    SHARED_MEMORY = "shared_memory"
+    DISK = "disk"
+
+
+@dataclass
+class RestartReport:
+    """What one shutdown or restore did."""
+
+    method: RecoveryMethod | None
+    tables: int = 0
+    row_blocks: int = 0
+    rbc_copies: int = 0
+    bytes_copied: int = 0
+    rows: int = 0
+    duration_seconds: float = 0.0
+    segment_grows: int = 0
+    fell_back_to_disk: bool = False
+    peak_tracked_bytes: int = 0
+    leaf_states: list[str] = field(default_factory=list)
+
+
+def _exact_size(table_name: str, blocks: list) -> int:
+    return table_segment_size(table_name, blocks)
+
+
+class RestartEngine:
+    """Shutdown-to-shared-memory and restore-from-shared-memory for one
+    leaf server's data.
+
+    Parameters
+    ----------
+    leaf_id:
+        Identifies this leaf's fixed metadata location.
+    namespace:
+        Prefix for every segment name; lets independent clusters (and
+        concurrent test runs) share /dev/shm without collisions.
+    backup:
+        The :class:`DiskBackup` used by disk recovery and by the
+        PREPARE-state flush.  Optional: without it, a failed memory
+        recovery raises instead of falling back.
+    layout_version:
+        The shared memory layout this build writes and reads.  A stored
+        version that differs forces disk recovery (paper, Section 4.2).
+    size_estimator:
+        ``f(table_name, blocks) -> bytes`` used at segment-creation time.
+        The default is exact; tests inject a lowballing estimator to
+        exercise the "grow the table segment if needed" path.
+    fault_hook:
+        ``f(point_name)`` called at protocol boundaries; tests raise from
+        it to simulate crashes.
+    """
+
+    def __init__(
+        self,
+        leaf_id: str,
+        namespace: str = "scuba",
+        backup: DiskBackup | None = None,
+        layout_version: int = SHM_LAYOUT_VERSION,
+        tracker: MemoryTracker | None = None,
+        clock: Clock | None = None,
+        size_estimator: Callable[[str, list], int] | None = None,
+        fault_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        self.leaf_id = str(leaf_id)
+        self.namespace = namespace
+        self.backup = backup
+        self.layout_version = layout_version
+        self.tracker = tracker or MemoryTracker()
+        self.clock = clock or SystemClock()
+        self._size_estimator = size_estimator or _exact_size
+        self._fault = fault_hook or (lambda point: None)
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self._rbc_copies = 0
+        self._bytes_copied = 0
+        self._rows_copied = 0
+        self._blocks_copied = 0
+        self._block_rows: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def shm_state_exists(self) -> bool:
+        """Whether this leaf's metadata segment currently exists."""
+        return LeafMetadata.exists(self.namespace, self.leaf_id)
+
+    def shm_state_valid(self) -> bool:
+        """Whether shared memory recovery would be attempted."""
+        if not self.shm_state_exists():
+            return False
+        meta = LeafMetadata.attach(self.namespace, self.leaf_id)
+        try:
+            return meta.valid and meta.layout_version == self.layout_version
+        except (CorruptionError, LayoutVersionError):
+            return False
+        finally:
+            meta.close()
+
+    def discard_shm(self) -> bool:
+        """Unlink any shared memory state this leaf left behind."""
+        if not self.shm_state_exists():
+            return False
+        meta = LeafMetadata.attach(self.namespace, self.leaf_id)
+        try:
+            meta.unlink_all()
+        except (CorruptionError, LayoutVersionError):
+            # Unreadable metadata: drop the metadata segment itself; any
+            # orphan table segments keep their namespaced names and are
+            # cleaned by the next backup that reuses them.
+            meta.unlink()
+        return True
+
+    def _segment_base_name(self, table_index: int) -> str:
+        return f"{self.namespace}-leaf-{self.leaf_id}-t{table_index}"
+
+    # ------------------------------------------------------------------
+    # Shutdown (Figure 6)
+    # ------------------------------------------------------------------
+
+    def backup_to_shm(
+        self,
+        leafmap: LeafMap,
+        deadline: CooperativeDeadline | None = None,
+    ) -> RestartReport:
+        """Copy every table to shared memory and set the valid bit.
+
+        On success the leaf map is left empty (its heap data has been
+        "deleted" table by table) and the report's method is
+        ``SHARED_MEMORY``.  On any failure — including a
+        :class:`~repro.errors.ShutdownTimeout` from the deadline — the
+        valid bit stays false and the exception propagates; whatever
+        segments were created are discarded by the next restore.
+        """
+        start = self.clock.now()
+        leaf = LeafBackupMachine()
+        leaf.transition(LeafBackupState.COPY_TO_SHM)
+        report = RestartReport(method=RecoveryMethod.SHARED_MEMORY)
+        self._reset_counters()
+        self._fault("backup:start")
+        # Seal every write buffer up front (shutdown already rejects new
+        # data) and make sure the tracker accounts for the heap bytes the
+        # copy loop is about to free — callers that did not pre-seed the
+        # tracker still get consistent footprint numbers.
+        leafmap.seal_all()
+        total_heap = sum(table.sealed_nbytes for table in leafmap)
+        deficit = total_heap - self.tracker.in_region("heap")
+        if deficit > 0:
+            self.tracker.allocate("heap", deficit, at=self.clock.now())
+        if self.shm_state_exists():
+            self.discard_shm()  # stale state from an unlinked predecessor
+        meta = LeafMetadata.create(self.namespace, self.leaf_id, self.layout_version)
+        records: list[TableSegmentRecord] = []
+        try:
+            # Table order must be deterministic so segment names are
+            # reproducible across the shutdown/restore pair.
+            for index, table_name in enumerate(list(leafmap.table_names)):
+                table = leafmap.get_table(table_name)
+                machine = TableBackupMachine()
+                machine.transition(TableBackupState.PREPARE)
+                # PREPARE: reject new work, finish in-flight work, flush
+                # to disk.  In this single-threaded engine that reduces
+                # to sealing the write buffer and syncing the backup.
+                table.seal_buffer()
+                if self.backup is not None:
+                    self.backup.sync_table(table)
+                machine.transition(TableBackupState.COPY_TO_SHM)
+                record, grows = self._copy_table_out(table, index, deadline)
+                records.append(record)
+                meta.set_records(records)
+                report.segment_grows += grows
+                report.tables += 1
+                leafmap.drop_table(table_name)
+                machine.transition(TableBackupState.DONE)
+                self._fault("backup:table")
+            self._fault("backup:before_valid")
+            meta.set_valid(True)
+        finally:
+            meta.close()
+        leaf.transition(LeafBackupState.EXIT)
+        report.leaf_states = [state.value for state in leaf.history]
+        report.rbc_copies = self._rbc_copies
+        report.bytes_copied = self._bytes_copied
+        report.rows = self._rows_copied
+        report.row_blocks = self._blocks_copied
+        report.duration_seconds = self.clock.now() - start
+        report.peak_tracked_bytes = self.tracker.peak_total
+        return report
+
+    def _copy_table_out(
+        self,
+        table,
+        table_index: int,
+        deadline: CooperativeDeadline | None,
+    ) -> tuple[TableSegmentRecord, int]:
+        """Copy one table into its segment; returns (record, grow count)."""
+        blocks = table.take_blocks()
+        self._block_rows = [block.row_count for block in blocks]
+        estimate = max(64, self._size_estimator(table.name, blocks))
+        grows = 0
+        base = self._segment_base_name(table_index)
+        # A previous backup of this leaf that was killed mid-copy can
+        # leave an orphan segment that its (never-written) metadata
+        # record does not reference; the name is ours, so reclaim it.
+        if segment_exists(base):
+            ShmSegment.attach(base).unlink()
+        segment = ShmSegment.create(base, estimate)
+        self.tracker.allocate("shm", segment.size, at=self.clock.now())
+        writer = TableSegmentWriter(segment, table.name, blocks)
+        while True:
+            try:
+                events = writer.copy_events()
+                # copy_events validates capacity before the first write,
+                # so a too-small estimate fails here with nothing copied.
+                first_event = next(events, None)
+            except ShmError:
+                # "grow the table segment in size if needed": POSIX
+                # segments cannot grow in place, so allocate a larger one
+                # and retire the small one.  Nothing was copied yet.
+                needed = table_segment_size(table.name, blocks)
+                self.tracker.free("shm", segment.size, at=self.clock.now())
+                segment.unlink()
+                grows += 1
+                grown_name = f"{base}-g{grows}"
+                if segment_exists(grown_name):
+                    ShmSegment.attach(grown_name).unlink()
+                segment = ShmSegment.create(grown_name, needed)
+                self.tracker.allocate("shm", segment.size, at=self.clock.now())
+                writer = TableSegmentWriter(segment, table.name, blocks)
+                continue
+            break
+        if first_event is not None:
+            self._apply_copy_event(blocks, first_event, deadline)
+        for event in events:
+            self._apply_copy_event(blocks, event, deadline)
+        record = TableSegmentRecord(
+            table_name=table.name,
+            segment_name=segment.name,
+            used_bytes=writer.used_bytes,
+            rows_ingested=table.total_rows_ingested,
+            rows_expired=table.total_rows_expired,
+        )
+        segment.close()
+        return record, grows
+
+    def _apply_copy_event(self, blocks, event, deadline) -> None:
+        if deadline is not None:
+            deadline.check()
+        block = blocks[event.block_index]
+        freed = block.release_column(event.column_name)
+        self.tracker.free("heap", freed, at=self.clock.now())
+        self._rbc_copies += 1
+        self._bytes_copied += event.nbytes
+        if event.last_in_block:
+            # "delete row block from heap"
+            self._rows_copied += self._block_rows[event.block_index]
+            self._blocks_copied += 1
+            blocks[event.block_index] = None
+
+    # ------------------------------------------------------------------
+    # Restore (Figure 7)
+    # ------------------------------------------------------------------
+
+    def restore(
+        self,
+        leafmap: LeafMap,
+        memory_recovery_enabled: bool = True,
+    ) -> RestartReport:
+        """Restore this leaf's data into an empty ``leafmap``.
+
+        Attempts shared memory recovery when it is enabled and the valid
+        bit is set; otherwise — or on any exception mid-copy — falls back
+        to disk recovery, per Figure 5(b).
+        """
+        if len(leafmap):
+            raise RecoveryError("restore requires an empty leaf map")
+        start = self.clock.now()
+        leaf = LeafRestoreMachine()
+        report = RestartReport(method=None)
+        self._fault("restore:start")
+        meta: LeafMetadata | None = None
+        use_memory = memory_recovery_enabled and self.shm_state_exists()
+        if use_memory:
+            meta = LeafMetadata.attach(self.namespace, self.leaf_id)
+            try:
+                valid = meta.valid and meta.layout_version == self.layout_version
+            except (CorruptionError, LayoutVersionError):
+                valid = False
+            if not valid:
+                # "if valid bit is false: delete shared memory segments,
+                # recover from disk"
+                try:
+                    meta.unlink_all()
+                except (CorruptionError, LayoutVersionError):
+                    meta.unlink()
+                meta = None
+                use_memory = False
+        if not use_memory:
+            leaf.transition(LeafRestoreState.DISK_RECOVERY)
+            self._recover_from_disk(leafmap, report)
+            leaf.transition(LeafRestoreState.ALIVE)
+            return self._finish_report(report, leaf, start)
+        assert meta is not None
+        leaf.transition(LeafRestoreState.MEMORY_RECOVERY)
+        try:
+            meta.set_valid(False)  # an interrupted restore must go to disk
+            self._fault("restore:after_invalidate")
+            self._restore_from_segments(meta, leafmap, report)
+            self._fault("restore:before_finish")
+            meta.unlink()
+            report.method = RecoveryMethod.SHARED_MEMORY
+        except Exception:
+            # Figure 5(b): MEMORY RECOVERY --exception--> DISK RECOVERY.
+            # Any failure mid-copy (corruption, truncated segment, even a
+            # programming error in the decode path) must route to disk.
+            leaf.transition(LeafRestoreState.DISK_RECOVERY)
+            try:
+                meta.unlink_all()
+            except Exception:
+                meta.unlink()
+            for table_name in list(leafmap.table_names):
+                leafmap.drop_table(table_name)
+            report = RestartReport(method=None, fell_back_to_disk=True)
+            self._recover_from_disk(leafmap, report)
+        leaf.transition(LeafRestoreState.ALIVE)
+        return self._finish_report(report, leaf, start)
+
+    def _restore_from_segments(
+        self, meta: LeafMetadata, leafmap: LeafMap, report: RestartReport
+    ) -> None:
+        records = meta.records
+        # A fresh process's tracker has no "shm" region yet; charge the
+        # segments it is about to consume so the footprint sums hold.
+        if self.tracker.in_region("shm") == 0:
+            for record in records:
+                segment = ShmSegment.attach(record.segment_name)
+                self.tracker.allocate("shm", segment.size, at=self.clock.now())
+                segment.close()
+        for record in records:
+            machine = TableRestoreMachine()
+            machine.transition(TableRestoreState.MEMORY_RECOVERY)
+            segment = ShmSegment.attach(record.segment_name)
+            table = leafmap.create_table(record.table_name)
+            blocks = []
+            view = segment.read_at(0, record.used_bytes)
+            try:
+                for _, block in iter_blocks_from_segment(view):
+                    block.verify()
+                    # "allocate memory in heap; copy data from table
+                    # segment to heap" — unpack() made fresh heap copies
+                    # per column.
+                    self.tracker.allocate("heap", block.nbytes, at=self.clock.now())
+                    blocks.append(block)
+                    report.row_blocks += 1
+                    report.rbc_copies += len(block.schema)
+                    report.bytes_copied += block.nbytes
+                    report.rows += block.row_count
+            finally:
+                # Release the view before unlinking: an exported pointer
+                # into the mmap would make close() fail.
+                view.release()
+            table.replace_blocks(blocks)
+            table.total_rows_ingested = record.rows_ingested
+            table.total_rows_expired = record.rows_expired
+            report.tables += 1
+            # "delete the table shared memory segment"
+            self.tracker.free("shm", segment.size, at=self.clock.now())
+            segment.unlink()
+            machine.transition(TableRestoreState.ALIVE)
+            self._fault("restore:table")
+
+    def _recover_from_disk(self, leafmap: LeafMap, report: RestartReport) -> None:
+        if self.backup is None:
+            raise RecoveryError(
+                f"leaf {self.leaf_id}: no valid shared memory state and no "
+                "disk backup configured"
+            )
+        report.rows = recover_leafmap(self.backup, leafmap)
+        report.tables = len(leafmap)
+        report.row_blocks = sum(table.block_count for table in leafmap)
+        for table in leafmap:
+            self.tracker.allocate("heap", table.nbytes, at=self.clock.now())
+        report.method = RecoveryMethod.DISK
+
+    def _finish_report(
+        self, report: RestartReport, leaf: LeafRestoreMachine, start: float
+    ) -> RestartReport:
+        report.duration_seconds = self.clock.now() - start
+        report.peak_tracked_bytes = self.tracker.peak_total
+        report.leaf_states = [state.value for state in leaf.history]
+        return report

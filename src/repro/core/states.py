@@ -1,0 +1,175 @@
+"""The shutdown and restart state machines of Figure 5.
+
+"At all times, each leaf and table keeps track of its state.  The state
+indicates whether the leaf and table are working on a restart and
+determines which actions are permissible."
+
+Four machines:
+
+(a) leaf backup:   ALIVE → COPY_TO_SHM → EXIT
+(b) leaf restore:  INIT → MEMORY_RECOVERY → ALIVE
+                   INIT → DISK_RECOVERY → ALIVE       (memory recovery disabled)
+                   MEMORY_RECOVERY → DISK_RECOVERY    (exception)
+(c) table backup:  ALIVE → PREPARE → COPY_TO_SHM → DONE
+    (PREPARE rejects new requests, kills deletes in progress, waits for
+    adds/queries in flight, flushes data to disk)
+(d) table restore: identical shape to (b).
+
+:class:`StateMachine` enforces that *only* the drawn transitions happen;
+anything else raises :class:`~repro.errors.StateError`, which is the
+property test target for invariant 6.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Generic, TypeVar
+
+from repro.errors import StateError
+
+
+class LeafBackupState(Enum):
+    ALIVE = "alive"
+    COPY_TO_SHM = "copy_to_shm"
+    EXIT = "exit"
+
+
+class LeafRestoreState(Enum):
+    INIT = "init"
+    MEMORY_RECOVERY = "memory_recovery"
+    DISK_RECOVERY = "disk_recovery"
+    ALIVE = "alive"
+
+
+class TableBackupState(Enum):
+    ALIVE = "alive"
+    PREPARE = "prepare"
+    COPY_TO_SHM = "copy_to_shm"
+    DONE = "done"
+
+
+class TableRestoreState(Enum):
+    INIT = "init"
+    MEMORY_RECOVERY = "memory_recovery"
+    DISK_RECOVERY = "disk_recovery"
+    ALIVE = "alive"
+
+
+S = TypeVar("S", bound=Enum)
+
+
+class StateMachine(Generic[S]):
+    """A state holder that only permits an explicit transition set."""
+
+    def __init__(
+        self,
+        initial: S,
+        transitions: dict[S, set[S]],
+        terminal: set[S],
+    ) -> None:
+        self._state = initial
+        self._transitions = transitions
+        self._terminal = terminal
+        self.history: list[S] = [initial]
+
+    @property
+    def state(self) -> S:
+        return self._state
+
+    @property
+    def is_terminal(self) -> bool:
+        return self._state in self._terminal
+
+    def can_transition(self, target: S) -> bool:
+        return target in self._transitions.get(self._state, set())
+
+    def transition(self, target: S) -> S:
+        """Move to ``target`` or raise :class:`StateError`."""
+        if not self.can_transition(target):
+            raise StateError(
+                f"{type(self).__name__}: illegal transition "
+                f"{self._state.value} → {target.value}"
+            )
+        self._state = target
+        self.history.append(target)
+        return target
+
+    def require(self, *states: S) -> None:
+        """Raise unless currently in one of ``states`` (action gating)."""
+        if self._state not in states:
+            allowed = ", ".join(s.value for s in states)
+            raise StateError(
+                f"{type(self).__name__}: operation requires state in "
+                f"[{allowed}], currently {self._state.value}"
+            )
+
+
+class LeafBackupMachine(StateMachine[LeafBackupState]):
+    """Figure 5(a)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            LeafBackupState.ALIVE,
+            {
+                LeafBackupState.ALIVE: {LeafBackupState.COPY_TO_SHM},
+                LeafBackupState.COPY_TO_SHM: {LeafBackupState.EXIT},
+            },
+            terminal={LeafBackupState.EXIT},
+        )
+
+
+class LeafRestoreMachine(StateMachine[LeafRestoreState]):
+    """Figure 5(b)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            LeafRestoreState.INIT,
+            {
+                LeafRestoreState.INIT: {
+                    LeafRestoreState.MEMORY_RECOVERY,
+                    LeafRestoreState.DISK_RECOVERY,  # memory recovery disabled
+                },
+                LeafRestoreState.MEMORY_RECOVERY: {
+                    LeafRestoreState.ALIVE,
+                    LeafRestoreState.DISK_RECOVERY,  # exception
+                },
+                LeafRestoreState.DISK_RECOVERY: {LeafRestoreState.ALIVE},
+            },
+            terminal={LeafRestoreState.ALIVE},
+        )
+
+
+class TableBackupMachine(StateMachine[TableBackupState]):
+    """Figure 5(c) — one extra PREPARE state relative to the leaf."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            TableBackupState.ALIVE,
+            {
+                TableBackupState.ALIVE: {TableBackupState.PREPARE},
+                TableBackupState.PREPARE: {TableBackupState.COPY_TO_SHM},
+                TableBackupState.COPY_TO_SHM: {TableBackupState.DONE},
+            },
+            terminal={TableBackupState.DONE},
+        )
+
+
+class TableRestoreMachine(StateMachine[TableRestoreState]):
+    """Figure 5(d) — identical shape to the leaf restore machine."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            TableRestoreState.INIT,
+            {
+                TableRestoreState.INIT: {
+                    TableRestoreState.MEMORY_RECOVERY,
+                    TableRestoreState.DISK_RECOVERY,
+                },
+                TableRestoreState.MEMORY_RECOVERY: {
+                    TableRestoreState.ALIVE,
+                    TableRestoreState.DISK_RECOVERY,
+                },
+                TableRestoreState.DISK_RECOVERY: {TableRestoreState.ALIVE},
+            },
+            terminal={TableRestoreState.ALIVE},
+        )

@@ -1,0 +1,76 @@
+"""Shutdown watchdogs.
+
+The deploy script "waits in a loop for the leaf server process to die.
+Usually, the leaf copies its data to shared memory and exits in 3-4
+seconds.  However, the loop ensures that we kill the leaf server if it
+has not shut down after 3 minutes.  If the old leaf server is killed, the
+new leaf server will restart from disk." (paper, Section 4.3)
+
+Two forms are provided:
+
+- :func:`wait_or_kill` for real subprocess leaves (the examples), and
+- :class:`CooperativeDeadline` for in-process engines: the restart
+  engine polls it between row-block-column copies and aborts — leaving
+  the valid bit false — when the deadline passes, which is how the
+  kill's effect (disk fallback on next start) is exercised in tests.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+from repro.errors import ShutdownTimeout
+from repro.util.clock import Clock, SystemClock
+
+#: The paper's kill deadline for a clean shutdown.
+DEFAULT_SHUTDOWN_DEADLINE_SECONDS = 180.0
+
+
+def wait_or_kill(
+    process: subprocess.Popen,
+    timeout: float = DEFAULT_SHUTDOWN_DEADLINE_SECONDS,
+) -> bool:
+    """Wait for a leaf process to exit; kill it after ``timeout``.
+
+    Returns True if the process exited on its own (shared memory state
+    is trustworthy if it set the valid bit), False if it was killed (the
+    valid bit will still be false, so the replacement restarts from
+    disk).
+    """
+    try:
+        process.wait(timeout=timeout)
+        return True
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+        return False
+
+
+class CooperativeDeadline:
+    """A deadline the shutdown loop checks between copies."""
+
+    def __init__(
+        self,
+        timeout: float = DEFAULT_SHUTDOWN_DEADLINE_SECONDS,
+        clock: Clock | None = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"deadline timeout must be positive, got {timeout}")
+        self._clock = clock or SystemClock()
+        self._deadline = self._clock.now() + timeout
+
+    @property
+    def remaining(self) -> float:
+        return self._deadline - self._clock.now()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0
+
+    def check(self) -> None:
+        """Raise :class:`ShutdownTimeout` once the deadline has passed."""
+        if self.expired:
+            raise ShutdownTimeout(
+                "clean shutdown overran its deadline; the deploy script "
+                "kills the leaf and the replacement will restart from disk"
+            )

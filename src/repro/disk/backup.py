@@ -1,0 +1,154 @@
+"""The leaf's disk backup manager.
+
+During normal operation a leaf synchronizes new rows to disk at sync
+points (asynchronously in production; callers here decide when).  A clean
+shutdown "finishes any pending synchronization with the data on disk"
+(paper, Section 4.1), so a subsequent disk recovery sees everything; a
+crash may lose the rows added after the last sync point, which Scuba
+accepts.
+
+On-disk state, inside one directory per leaf::
+
+    manifest.json           per-table watermarks (rows synced, expiry cutoff)
+    <table>.scuba           legacy row-format file (append-only chunks)
+
+The expiry cutoff is a manifest watermark rather than a file rewrite:
+recovery replays the chunks and drops rows whose timestamp is below the
+cutoff, mirroring how Scuba re-applies deletions after recovery
+("Any needed deletions are made after recovery", Figure 5 caption).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.table import Table
+from repro.disk.format import write_chunk, write_file_header
+from repro.errors import RecoveryError
+
+_MANIFEST = "manifest.json"
+
+
+def _table_filename(name: str) -> str:
+    """A filesystem-safe file name for a table (hex-escapes odd chars)."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else f"%{ord(ch):02x}" for ch in name
+    )
+    return f"{safe}.scuba"
+
+
+class DiskBackup:
+    """Manages the legacy-format backup of one leaf's tables."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._manifest: dict[str, dict[str, int]] = {}
+        self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if path.exists():
+            try:
+                self._manifest = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise RecoveryError(f"unreadable backup manifest: {exc}") from exc
+
+    def _save_manifest(self) -> None:
+        tmp = self._manifest_path().with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=1, sort_keys=True))
+        os.replace(tmp, self._manifest_path())
+
+    def _entry(self, table_name: str) -> dict[str, int]:
+        return self._manifest.setdefault(
+            table_name, {"synced_rows": 0, "expire_before": 0}
+        )
+
+    def table_file(self, table_name: str) -> Path:
+        return self.directory / _table_filename(table_name)
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._manifest)
+
+    def synced_rows(self, table_name: str) -> int:
+        return self._manifest.get(table_name, {}).get("synced_rows", 0)
+
+    def expire_cutoff(self, table_name: str) -> int:
+        return self._manifest.get(table_name, {}).get("expire_before", 0)
+
+    # ------------------------------------------------------------------
+    # Sync points
+    # ------------------------------------------------------------------
+
+    def sync_table(self, table: Table) -> int:
+        """Append every not-yet-synced row of ``table`` as one chunk.
+
+        Returns the number of rows written.  Uses the table's monotone
+        ingest/expiry counters to find the delta since the last sync, so
+        repeated calls are idempotent when nothing changed.
+        """
+        entry = self._entry(table.name)
+        watermark = entry["synced_rows"]
+        expired = table.total_rows_expired
+        total = table.total_rows_ingested
+        start = max(watermark, expired)
+        if start >= total:
+            # Rows may have expired past the watermark without new data.
+            if expired > watermark:
+                entry["synced_rows"] = expired
+                self._save_manifest()
+            return 0
+        all_rows = table.to_rows()
+        new_rows = all_rows[start - expired :]
+        path = self.table_file(table.name)
+        is_new = not path.exists()
+        with open(path, "ab") as fh:
+            if is_new:
+                write_file_header(fh)
+            written = write_chunk(fh, new_rows)
+            fh.flush()
+            os.fsync(fh.fileno())
+        entry["synced_rows"] = total
+        self._save_manifest()
+        return written
+
+    def sync_leafmap(self, leafmap: LeafMap) -> int:
+        """Sync every table; returns total rows written."""
+        return sum(self.sync_table(table) for table in leafmap)
+
+    def record_expiry(self, table_name: str, cutoff_time: int) -> None:
+        """Advance a table's expiry watermark (never backwards)."""
+        entry = self._entry(table_name)
+        if cutoff_time > entry["expire_before"]:
+            entry["expire_before"] = cutoff_time
+            self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def drop_table(self, table_name: str) -> None:
+        self._manifest.pop(table_name, None)
+        self._save_manifest()
+        path = self.table_file(table_name)
+        if path.exists():
+            path.unlink()
+
+    def wipe(self) -> None:
+        """Delete every backup file and the manifest (tests/teardown)."""
+        for name in list(self._manifest):
+            self.drop_table(name)
+        if self._manifest_path().exists():
+            self._manifest_path().unlink()
+        self._manifest = {}

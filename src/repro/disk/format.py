@@ -1,0 +1,160 @@
+"""The legacy row-oriented disk format.
+
+One file per table, holding a file header followed by *sync chunks*.
+Each chunk is the batch of rows written at one synchronization point
+(paper, Section 4.1: "only the sections of data that have changed since
+the last synchronization point need to be updated").
+
+File layout::
+
+    u32 magic "SDSK"  | u16 version | u16 reserved
+    chunk*
+
+Chunk layout::
+
+    u32 magic "CHNK"
+    u32 row count
+    u64 payload length
+    u32 crc32 of payload
+    payload: rows, each = varint n_cols + (name str, type u8, value)*
+
+Value encodings: INT64 → i64, FLOAT64 → f64, STRING → len-prefixed UTF-8,
+STRING_VECTOR → varint count + strings.
+
+A truncated or checksum-failing trailing chunk is *skipped*, not fatal:
+after a crash the last asynchronous write may be torn, and Scuba accepts
+losing a tiny amount of data in exchange for a simple recovery path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, Mapping
+
+from repro.errors import CorruptionError
+from repro.types import ColumnType, ColumnValue
+from repro.util.binary import BufferReader, BufferWriter
+from repro.util.checksum import crc32_of
+
+DISK_MAGIC = 0x4B534453  # "SDSK"
+DISK_FORMAT_VERSION = 1
+_FILE_HEADER = struct.Struct("<IHH")
+CHUNK_MAGIC = 0x4B4E4843  # "CHNK"
+_CHUNK_HEADER = struct.Struct("<IIQI")
+
+#: Upper bound on one sync chunk: corrupt length fields beyond this are
+#: rejected instead of driving a multi-gigabyte read (row blocks are
+#: capped at 1 GB pre-compression, so no legitimate chunk approaches it).
+MAX_CHUNK_BYTES = 1 << 31
+
+
+def write_file_header(fh: BinaryIO) -> None:
+    fh.write(_FILE_HEADER.pack(DISK_MAGIC, DISK_FORMAT_VERSION, 0))
+
+
+def read_file_header(fh: BinaryIO) -> None:
+    raw = fh.read(_FILE_HEADER.size)
+    if len(raw) < _FILE_HEADER.size:
+        raise CorruptionError("disk file shorter than its header")
+    magic, version, _ = _FILE_HEADER.unpack(raw)
+    if magic != DISK_MAGIC:
+        raise CorruptionError(f"bad disk file magic 0x{magic:08x}")
+    if version != DISK_FORMAT_VERSION:
+        raise CorruptionError(f"unreadable disk format version {version}")
+
+
+def _encode_row(writer: BufferWriter, row: Mapping[str, ColumnValue]) -> None:
+    writer.write_varint(len(row))
+    for name, value in row.items():
+        writer.write_str(name)
+        if isinstance(value, bool):
+            raise CorruptionError("boolean values cannot be persisted")
+        if isinstance(value, int):
+            writer.write_u8(int(ColumnType.INT64))
+            writer.write_i64(value)
+        elif isinstance(value, float):
+            writer.write_u8(int(ColumnType.FLOAT64))
+            writer.write_f64(value)
+        elif isinstance(value, str):
+            writer.write_u8(int(ColumnType.STRING))
+            writer.write_str(value)
+        elif isinstance(value, list):
+            writer.write_u8(int(ColumnType.STRING_VECTOR))
+            writer.write_varint(len(value))
+            for item in value:
+                writer.write_str(item)
+        else:
+            raise CorruptionError(
+                f"unsupported value type {type(value).__name__} for column '{name}'"
+            )
+
+
+def _decode_row(reader: BufferReader) -> dict[str, ColumnValue]:
+    n_cols = reader.read_varint()
+    row: dict[str, ColumnValue] = {}
+    for _ in range(n_cols):
+        name = reader.read_str()
+        type_code = reader.read_u8()
+        try:
+            ctype = ColumnType(type_code)
+        except ValueError as exc:
+            raise CorruptionError(
+                f"unknown column type code {type_code} for column '{name}'"
+            ) from exc
+        if ctype is ColumnType.INT64:
+            row[name] = reader.read_i64()
+        elif ctype is ColumnType.FLOAT64:
+            row[name] = reader.read_f64()
+        elif ctype is ColumnType.STRING:
+            row[name] = reader.read_str()
+        else:
+            count = reader.read_varint()
+            row[name] = [reader.read_str() for _ in range(count)]
+    return row
+
+
+def write_chunk(fh: BinaryIO, rows: Iterable[Mapping[str, ColumnValue]]) -> int:
+    """Append one sync chunk; returns the number of rows written."""
+    writer = BufferWriter()
+    count = 0
+    for row in rows:
+        _encode_row(writer, row)
+        count += 1
+    payload = writer.getvalue()
+    fh.write(_CHUNK_HEADER.pack(CHUNK_MAGIC, count, len(payload), crc32_of(payload)))
+    fh.write(payload)
+    return count
+
+
+def read_table_chunks(fh: BinaryIO) -> Iterator[list[dict[str, ColumnValue]]]:
+    """Yield each intact chunk's rows; stop silently at a torn tail.
+
+    A corrupted chunk in the *middle* of the file (followed by more data)
+    is a real corruption and raises; only the final chunk may be torn.
+    """
+    read_file_header(fh)
+    while True:
+        header = fh.read(_CHUNK_HEADER.size)
+        if not header:
+            return
+        if len(header) < _CHUNK_HEADER.size:
+            return  # torn chunk header at EOF
+        magic, n_rows, payload_len, crc = _CHUNK_HEADER.unpack(header)
+        if magic != CHUNK_MAGIC:
+            raise CorruptionError(f"bad chunk magic 0x{magic:08x} mid-file")
+        if payload_len > MAX_CHUNK_BYTES:
+            raise CorruptionError(
+                f"chunk claims {payload_len} payload bytes (cap {MAX_CHUNK_BYTES})"
+            )
+        payload = fh.read(payload_len)
+        if len(payload) < payload_len:
+            return  # torn payload at EOF
+        if crc32_of(payload) != crc:
+            if fh.read(1):
+                raise CorruptionError("chunk checksum mismatch mid-file")
+            return  # torn final chunk
+        reader = BufferReader(payload)
+        rows = [_decode_row(reader) for _ in range(n_rows)]
+        if reader.remaining:
+            raise CorruptionError("trailing bytes inside a chunk payload")
+        yield rows

@@ -1,0 +1,11 @@
+"""Ingestion path: Scribe categories and tailer processes (paper, Fig. 1).
+
+"Data flows from log calls in Facebook products and services into Scribe.
+Scuba 'tailer' processes pull the data for each table out of Scribe and
+send it into Scuba."
+"""
+
+from repro.ingest.scribe import ScribeLog
+from repro.ingest.tailer import Tailer, TailerStats
+
+__all__ = ["ScribeLog", "Tailer", "TailerStats"]

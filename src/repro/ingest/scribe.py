@@ -1,0 +1,62 @@
+"""A Scribe stand-in: a per-category append log with cursors.
+
+The real Scribe is a distributed messaging system; for the restart
+paper's purposes only its delivery semantics matter — producers append
+rows under a category (one per table), consumers (tailers) read forward
+from a cursor and can re-read after a failure (at-least-once).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.types import ColumnValue
+
+
+class ScribeLog:
+    """An in-memory, multi-category, append-only log."""
+
+    def __init__(self, retention_per_category: int = 1_000_000) -> None:
+        if retention_per_category < 1:
+            raise ValueError("retention must be positive")
+        self._retention = retention_per_category
+        self._categories: dict[str, list[dict[str, ColumnValue]]] = {}
+        self._trimmed: dict[str, int] = {}  # entries dropped from the front
+
+    @property
+    def categories(self) -> list[str]:
+        return list(self._categories)
+
+    def append(self, category: str, rows) -> int:
+        """Append rows under ``category``; returns the new end offset."""
+        log = self._categories.setdefault(category, [])
+        self._trimmed.setdefault(category, 0)
+        for row in rows:
+            log.append(dict(row))
+        if len(log) > self._retention:
+            drop = len(log) - self._retention
+            del log[:drop]
+            self._trimmed[category] += drop
+        return self._trimmed[category] + len(log)
+
+    def end_offset(self, category: str) -> int:
+        return self._trimmed.get(category, 0) + len(self._categories.get(category, []))
+
+    def read(
+        self, category: str, cursor: int, max_rows: int | None = None
+    ) -> tuple[list[dict[str, ColumnValue]], int]:
+        """Read forward from ``cursor``; returns (rows, new_cursor).
+
+        A cursor older than retention silently skips to the oldest
+        retained entry — data loss by retention, as in any log system.
+        """
+        log = self._categories.get(category, [])
+        trimmed = self._trimmed.get(category, 0)
+        start = max(0, cursor - trimmed)
+        end = len(log) if max_rows is None else min(len(log), start + max_rows)
+        rows = [dict(row) for row in log[start:end]]
+        return rows, trimmed + end
+
+    def backlog(self, category: str, cursor: int) -> int:
+        """How many rows a consumer at ``cursor`` has not yet read."""
+        return max(0, self.end_offset(category) - cursor)

@@ -1,0 +1,32 @@
+"""Query engine.
+
+Scuba queries are interactive aggregations — count/sum/min/max/avg and
+percentiles, grouped by columns, nearly always with a predicate on
+``time`` (paper, Sections 1–2).  The engine here mirrors that shape:
+
+- :class:`Query` describes an aggregation over one table,
+- :func:`execute_on_leaf` runs it against a leaf's :class:`LeafMap`,
+  using row-block min/max-timestamp pruning,
+- :func:`merge_leaf_results` combines per-leaf partial states, which is
+  what aggregator servers do, including over a *partial* set of leaves
+  (Scuba "can and does return partial query results when not all servers
+  are available").
+"""
+
+from repro.query.aggregate import AggState, merge_leaf_results
+from repro.query.execute import execute_on_leaf
+from repro.query.query import Aggregation, Filter, Query, QueryResult, ResultRow
+from repro.query.render import render_table, render_timeseries
+
+__all__ = [
+    "AggState",
+    "Aggregation",
+    "Filter",
+    "Query",
+    "QueryResult",
+    "ResultRow",
+    "execute_on_leaf",
+    "merge_leaf_results",
+    "render_table",
+    "render_timeseries",
+]

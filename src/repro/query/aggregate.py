@@ -1,0 +1,223 @@
+"""Mergeable aggregation state.
+
+Leaves compute partial aggregates; aggregator servers merge them "as they
+arrive from the leaves" (paper, Section 2).  Every aggregate is therefore
+represented as a *mergeable state*: count and sum are trivially additive,
+avg carries (sum, count), min/max fold, and percentiles carry their
+sample values (exact at this library's scale; a production system would
+ship a quantile sketch, which would change none of the interfaces).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.query import Aggregation, Query, QueryResult, ResultRow
+from repro.types import ColumnValue
+
+
+@dataclass
+class AggState:
+    """Mergeable partial state for one aggregation in one group."""
+
+    func: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+    samples: list[float] = field(default_factory=list)
+
+    def update(self, value: ColumnValue | None) -> None:
+        """Fold one row's value into the state."""
+        if self.func == "count":
+            self.count += 1
+            return
+        if value is None:
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise QueryError(
+                f"aggregation '{self.func}' requires numeric values, got "
+                f"{type(value).__name__}"
+            )
+        number = float(value)
+        self.count += 1
+        self.total += number
+        self.minimum = number if self.minimum is None else min(self.minimum, number)
+        self.maximum = number if self.maximum is None else max(self.maximum, number)
+        if self.func.startswith("p"):
+            self.samples.append(number)
+
+    def merge(self, other: "AggState") -> None:
+        """Fold another leaf's partial state into this one."""
+        if other.func != self.func:
+            raise QueryError(
+                f"cannot merge aggregate states '{self.func}' and '{other.func}'"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum
+                if self.minimum is None
+                else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum
+                if self.maximum is None
+                else max(self.maximum, other.maximum)
+            )
+        self.samples.extend(other.samples)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (for shipping partials between processes)."""
+        return {
+            "func": self.func,
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AggState":
+        return cls(
+            func=data["func"],
+            count=data["count"],
+            total=data["total"],
+            minimum=data["minimum"],
+            maximum=data["maximum"],
+            samples=list(data["samples"]),
+        )
+
+    def finalize(self) -> ColumnValue | None:
+        """The user-facing value of this aggregate."""
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        if self.func == "min":
+            return self.minimum
+        if self.func == "max":
+            return self.maximum
+        # Percentiles: nearest-rank on the collected samples.
+        fraction = int(self.func[1:]) / 100.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+
+#: A leaf's partial result: group key -> list of states, one per
+#: aggregation, in query order.
+LeafPartial = dict[tuple, list[AggState]]
+
+
+def new_states(query: Query) -> list[AggState]:
+    return [AggState(agg.func) for agg in query.aggregations]
+
+
+def partial_to_wire(partial: LeafPartial) -> list[dict]:
+    """Serialize a leaf partial for the process RPC protocol.
+
+    Group keys are tuples of column values; they travel as lists and are
+    rebuilt as tuples on the other side.
+    """
+    return [
+        {"group": list(group), "states": [state.to_dict() for state in states]}
+        for group, states in partial.items()
+    ]
+
+
+def partial_from_wire(wire: list[dict]) -> LeafPartial:
+    """Inverse of :func:`partial_to_wire`."""
+    return {
+        _group_key(entry["group"]): [
+            AggState.from_dict(state) for state in entry["states"]
+        ]
+        for entry in wire
+    }
+
+
+def _group_key(items: list) -> tuple:
+    return tuple(tuple(item) if isinstance(item, list) else item for item in items)
+
+
+def merge_leaf_results(
+    query: Query,
+    partials: list[LeafPartial],
+    leaves_total: int,
+    rows_scanned: int = 0,
+    blocks_pruned: int = 0,
+) -> QueryResult:
+    """Merge per-leaf partial states into the final result.
+
+    ``len(partials)`` is the number of leaves that responded; the result
+    records it against ``leaves_total`` so callers can see partiality.
+    """
+    merged: LeafPartial = {}
+    for partial in partials:
+        for group, states in partial.items():
+            mine = merged.get(group)
+            if mine is None:
+                merged[group] = [
+                    AggState(
+                        state.func,
+                        state.count,
+                        state.total,
+                        state.minimum,
+                        state.maximum,
+                        list(state.samples),
+                    )
+                    for state in states
+                ]
+            else:
+                for target, incoming in zip(mine, states):
+                    target.merge(incoming)
+    rows = [
+        ResultRow(
+            group=group,
+            values={
+                agg.label: state.finalize()
+                for agg, state in zip(query.aggregations, states)
+            },
+        )
+        for group, states in merged.items()
+    ]
+    if query.order_by is not None:
+        # Top-k ordering by an aggregate value; ties and None-valued
+        # aggregates fall back to group-key order for determinism.
+        rows.sort(key=lambda row: _sort_key(row.group))
+        rows.sort(
+            key=lambda row: _order_key(row.values[query.order_by]),
+            reverse=query.descending,
+        )
+    else:
+        rows.sort(key=lambda row: _sort_key(row.group))
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return QueryResult(
+        rows=rows,
+        leaves_responded=len(partials),
+        leaves_total=leaves_total,
+        rows_scanned=rows_scanned,
+        blocks_pruned=blocks_pruned,
+    )
+
+
+def _sort_key(group: tuple) -> tuple:
+    """Stable cross-type ordering for group keys."""
+    return tuple((type(item).__name__, item) for item in group)
+
+
+def _order_key(value) -> tuple:
+    """Sort key for order_by values; None sorts below any number."""
+    if value is None:
+        return (0, 0.0)
+    return (1, float(value))

@@ -1,0 +1,74 @@
+"""Query execution on one leaf.
+
+A leaf scans the target table's row blocks — skipping any whose min/max
+timestamps fall outside the query's time range — applies filters, groups,
+and produces mergeable partial aggregate states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.columnstore.leafmap import LeafMap
+from repro.query.aggregate import LeafPartial, new_states
+from repro.query.query import Query
+from repro.types import TIME_COLUMN
+
+
+@dataclass
+class LeafExecution:
+    """A leaf's partial result plus scan statistics."""
+
+    partial: LeafPartial
+    rows_scanned: int = 0
+    rows_matched: int = 0
+    blocks_pruned: int = 0
+
+
+def execute_on_leaf(leafmap: LeafMap, query: Query) -> LeafExecution:
+    """Run ``query`` against one leaf's data.
+
+    A leaf that does not hold the table contributes an empty partial —
+    tables are spread over many leaves and any given leaf may have none
+    of a small table's rows.
+    """
+    execution = LeafExecution(partial={})
+    if query.table not in leafmap:
+        return execution
+    table = leafmap.get_table(query.table)
+
+    # Row-block pruning statistics (the scan itself prunes identically).
+    for block in table.blocks:
+        if not block.overlaps(query.start_time, query.end_time):
+            execution.blocks_pruned += 1
+
+    for row in table.scan(query.start_time, query.end_time):
+        execution.rows_scanned += 1
+        if any(not f.matches(row) for f in query.filters):
+            continue
+        execution.rows_matched += 1
+        group = tuple(row.get(column) for column in query.group_by)
+        if query.bucket_seconds is not None:
+            timestamp = row[TIME_COLUMN]
+            group = (timestamp - timestamp % query.bucket_seconds,) + group
+        states = execution.partial.get(group)
+        if states is None:
+            states = new_states(query)
+            execution.partial[group] = states
+        for agg, state in zip(query.aggregations, states):
+            if agg.func == "count":
+                state.update(None)
+            else:
+                value = row.get(agg.column)
+                state.update(value if agg.column in row else None)
+    return execution
+
+
+def rows_in_time_range(leafmap: LeafMap, table: str, start: int | None, end: int | None):
+    """Raw row access with pruning (used by tests and examples)."""
+    if table not in leafmap:
+        return iter(())
+    return leafmap.get_table(table).scan(start, end)
+
+
+__all__ = ["LeafExecution", "execute_on_leaf", "rows_in_time_range"]

@@ -1,0 +1,96 @@
+"""ASCII rendering of query results — a terminal stand-in for the Scuba
+GUI's tables and time-series charts (paper, Figure 1: "Scuba GUI ...
+visualize the results").
+"""
+
+from __future__ import annotations
+
+from repro.query.query import QueryResult
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def render_table(result: QueryResult, max_rows: int = 20) -> str:
+    """The grouped result as an aligned text table."""
+    if not result.rows:
+        return "(empty result)"
+    agg_labels = list(result.rows[0].values)
+    group_width = max(
+        (len(", ".join(str(v) for v in row.group)) for row in result.rows),
+        default=5,
+    )
+    group_width = max(group_width, 5)
+    header = f"{'group':<{group_width}}  " + "  ".join(
+        f"{label:>14}" for label in agg_labels
+    )
+    lines = [header, "-" * len(header)]
+    for row in result.rows[:max_rows]:
+        group = ", ".join(str(v) for v in row.group) or "(all)"
+        cells = []
+        for label in agg_labels:
+            value = row.values[label]
+            if isinstance(value, float):
+                cells.append(f"{value:>14.3f}")
+            else:
+                cells.append(f"{str(value):>14}")
+        lines.append(f"{group:<{group_width}}  " + "  ".join(cells))
+    if len(result.rows) > max_rows:
+        lines.append(f"... {len(result.rows) - max_rows} more rows")
+    if result.coverage < 1.0:
+        lines.append(
+            f"(partial result: {result.leaves_responded}/{result.leaves_total} "
+            f"leaves responded)"
+        )
+    return "\n".join(lines)
+
+
+def render_timeseries(
+    result: QueryResult, value_label: str, width: int = 60
+) -> str:
+    """A sparkline per series from a time-bucketed query result.
+
+    The query must have used ``bucket_seconds``: each result group's
+    first element is the bucket timestamp and the rest identify the
+    series.  Missing buckets render as gaps (space).
+    """
+    if not result.rows:
+        return "(empty result)"
+    series: dict[tuple, dict[int, float]] = {}
+    buckets: set[int] = set()
+    for row in result.rows:
+        bucket = row.group[0]
+        if not isinstance(bucket, int):
+            raise ValueError(
+                "render_timeseries needs a bucket_seconds query result "
+                "(integer time bucket first in each group key)"
+            )
+        key = row.group[1:]
+        value = row.values.get(value_label)
+        if value is None:
+            continue
+        series.setdefault(key, {})[bucket] = float(value)
+        buckets.add(bucket)
+    if not buckets:
+        return "(no data points)"
+    ordered = sorted(buckets)
+    if len(ordered) > width:
+        step = (len(ordered) - 1) / (width - 1)
+        ordered = [ordered[round(i * step)] for i in range(width)]
+    lines = []
+    for key in sorted(series, key=str):
+        points = series[key]
+        values = [points.get(bucket) for bucket in ordered]
+        present = [v for v in values if v is not None]
+        low = min(present)
+        high = max(present)
+        span = (high - low) or 1.0
+        chars = []
+        for value in values:
+            if value is None:
+                chars.append(" ")
+            else:
+                index = 1 + round((value - low) / span * (len(_BARS) - 2))
+                chars.append(_BARS[index])
+        label = ", ".join(str(v) for v in key) or "(all)"
+        lines.append(f"{label:>16} |{''.join(chars)}| {low:g}..{high:g}")
+    return "\n".join(lines)

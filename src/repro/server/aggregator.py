@@ -1,0 +1,128 @@
+"""The aggregator server.
+
+"The aggregator servers distribute a query to all leaves and then
+aggregate the results as they arrive from the leaves."  When some leaves
+are restarting, the aggregator returns what the live leaves provided and
+records the shortfall — the partial-result behaviour that makes rolling
+restarts tolerable in the first place.
+"""
+
+from __future__ import annotations
+
+from repro.query.aggregate import merge_leaf_results
+from repro.query.query import Query, QueryResult
+from repro.server.leaf import LeafServer
+
+
+class Aggregator:
+    """Fans one query out over a set of leaves and merges the partials.
+
+    Aggregators compose into a tree (:class:`AggregatorTree`): a machine
+    aggregator merges its local leaves' partials, and a root aggregator
+    merges the machine-level partials — Figure 1's "Query aggregator /
+    Leaf" structure.
+    """
+
+    def __init__(self, leaves: list[LeafServer]) -> None:
+        self._leaves = list(leaves)
+
+    @property
+    def leaves(self) -> list[LeafServer]:
+        return list(self._leaves)
+
+    def register(self, leaf: LeafServer) -> None:
+        self._leaves.append(leaf)
+
+    def query(self, query: Query) -> QueryResult:
+        """Run ``query`` on every leaf currently willing to answer.
+
+        Leaves that are down or mid-memory-recovery simply do not
+        contribute; the result's ``coverage`` reflects that.
+        """
+        partials = []
+        responded = 0
+        rows_scanned = 0
+        blocks_pruned = 0
+        for leaf in self._leaves:
+            if not leaf.accepts_queries:
+                continue
+            execution = leaf.query(query)
+            partials.append(execution.partial)
+            responded += 1
+            rows_scanned += execution.rows_scanned
+            blocks_pruned += execution.blocks_pruned
+        result = merge_leaf_results(
+            query,
+            partials,
+            leaves_total=len(self._leaves),
+            rows_scanned=rows_scanned,
+            blocks_pruned=blocks_pruned,
+        )
+        result.leaves_responded = responded
+        return result
+
+
+    def query_partial(self, query: Query):
+        """This aggregator's *mergeable* partial (for tree composition).
+
+        Returns ``(partial, leaves_responded, leaves_total)`` where the
+        partial is the merge of the live leaves' partials — the same
+        shape a single leaf produces, so upper tree levels are oblivious
+        to fan-in depth.
+        """
+        from repro.query.aggregate import AggState, LeafPartial
+
+        merged: LeafPartial = {}
+        responded = 0
+        for leaf in self._leaves:
+            if not leaf.accepts_queries:
+                continue
+            responded += 1
+            for group, states in leaf.query(query).partial.items():
+                mine = merged.get(group)
+                if mine is None:
+                    merged[group] = [
+                        AggState(
+                            s.func, s.count, s.total, s.minimum, s.maximum,
+                            list(s.samples),
+                        )
+                        for s in states
+                    ]
+                else:
+                    for target, incoming in zip(mine, states):
+                        target.merge(incoming)
+        return merged, responded, len(self._leaves)
+
+
+class AggregatorTree:
+    """A two-level aggregation tree: root over per-machine aggregators.
+
+    "The aggregator servers distribute a query to all leaves and then
+    aggregate the results as they arrive" — with hundreds of machines
+    the root does not talk to every leaf directly; each machine's
+    aggregator pre-merges its eight leaves and the root merges one
+    partial per machine.  Results are identical to a flat merge (the
+    aggregation states are associative), which the tests assert.
+    """
+
+    def __init__(self, machine_aggregators: list[Aggregator]) -> None:
+        if not machine_aggregators:
+            raise ValueError("an aggregation tree needs at least one aggregator")
+        self._aggregators = list(machine_aggregators)
+
+    @property
+    def fan_out(self) -> int:
+        return len(self._aggregators)
+
+    def query(self, query: Query) -> QueryResult:
+        partials = []
+        responded = 0
+        total = 0
+        for aggregator in self._aggregators:
+            partial, leaf_responded, leaf_total = aggregator.query_partial(query)
+            partials.append(partial)
+            responded += leaf_responded
+            total += leaf_total
+        result = merge_leaf_results(query, partials, leaves_total=total)
+        result.leaves_responded = responded
+        return result

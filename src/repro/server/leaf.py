@@ -1,0 +1,242 @@
+"""The leaf server.
+
+A leaf stores a fraction of most tables, accepts new rows as they arrive,
+deletes expired data, answers queries, and — the subject of the paper —
+shuts down into shared memory and restarts from it.
+
+Service status drives what a leaf will do (paper, Figure 5 and Section
+4.3):
+
+- ``ALIVE``: accepts adds, deletes, queries.
+- ``RECOVERING_DISK``: accepts adds and queries ("the server also accepts
+  new data as soon as it starts recovery"; queries see gradually
+  increasing partial data).  Tailers avoid routing here when possible.
+- ``RECOVERING_MEMORY``: accepts nothing — memory recovery takes seconds
+  ("during memory recovery [...] no add data requests or queries are
+  accepted").
+- ``SHUTTING_DOWN``: rejects new work, finishes what is in flight.
+- ``DOWN``: the process is gone.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod, RestartEngine, RestartReport
+from repro.core.watchdog import CooperativeDeadline
+from repro.disk.backup import DiskBackup
+from repro.errors import StateError
+from repro.query.execute import LeafExecution, execute_on_leaf
+from repro.query.query import Query
+from repro.types import ColumnValue
+from repro.util.clock import Clock, SystemClock
+from repro.util.memtrack import MemoryTracker
+
+#: Scaled-down default leaf capacity.  A production Scuba leaf holds
+#: 10–15 GB (144 GB machine / 8 leaves, minus headroom); tests and
+#: examples run the same code against megabytes.
+DEFAULT_CAPACITY_BYTES = 64 << 20
+
+
+class LeafStatus(Enum):
+    INIT = "init"
+    RECOVERING_DISK = "recovering_disk"
+    RECOVERING_MEMORY = "recovering_memory"
+    ALIVE = "alive"
+    SHUTTING_DOWN = "shutting_down"
+    DOWN = "down"
+
+
+class LeafServer:
+    """One leaf server's full lifecycle."""
+
+    def __init__(
+        self,
+        leaf_id: str,
+        backup: DiskBackup,
+        namespace: str = "scuba",
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        clock: Clock | None = None,
+        rows_per_block: int | None = None,
+        version: str = "v1",
+        machine_id: str | None = None,
+    ) -> None:
+        self.leaf_id = str(leaf_id)
+        self.machine_id = machine_id if machine_id is not None else self.leaf_id
+        self.capacity_bytes = capacity_bytes
+        self.clock = clock or SystemClock()
+        self.version = version
+        self._rows_per_block = rows_per_block
+        self.tracker = MemoryTracker()
+        self.backup = backup
+        self.engine = RestartEngine(
+            leaf_id=self.leaf_id,
+            namespace=namespace,
+            backup=backup,
+            tracker=self.tracker,
+            clock=self.clock,
+        )
+        self.leafmap = LeafMap(clock=self.clock, rows_per_block=rows_per_block)
+        self.status = LeafStatus.INIT
+        self.last_restart_report: RestartReport | None = None
+        #: One coarse lock serializes the data plane against lifecycle
+        #: transitions.  The paper's PREPARE state "waits for ADD/QUERY
+        #: requests in progress to complete" before the copy starts —
+        #: holding this lock across shutdown() is exactly that wait.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, memory_recovery_enabled: bool = True) -> RestartReport:
+        """Boot the leaf: restore from shared memory or disk.
+
+        A brand-new leaf (no shared memory, no backup files) comes up
+        empty via the disk path.
+        """
+        with self._lock:
+            if self.status not in (LeafStatus.INIT, LeafStatus.DOWN):
+                raise StateError(f"cannot start a leaf in status {self.status.value}")
+            self.leafmap = LeafMap(clock=self.clock, rows_per_block=self._rows_per_block)
+            will_use_memory = memory_recovery_enabled and self.engine.shm_state_valid()
+            self.status = (
+                LeafStatus.RECOVERING_MEMORY
+                if will_use_memory
+                else LeafStatus.RECOVERING_DISK
+            )
+            report = self.engine.restore(
+                self.leafmap, memory_recovery_enabled=memory_recovery_enabled
+            )
+            self.last_restart_report = report
+            self.status = LeafStatus.ALIVE
+            return report
+
+    def shutdown(
+        self,
+        use_shm: bool = True,
+        deadline: CooperativeDeadline | None = None,
+    ) -> RestartReport | None:
+        """Clean shutdown: stop new work, flush, and (optionally) copy
+        everything to shared memory.
+
+        With ``use_shm=False`` the leaf only flushes its backup — the
+        pre-paper behaviour whose restart pays the full disk recovery.
+        Returns the backup report (None for the disk-only path).
+        """
+        with self._lock:
+            return self._shutdown_locked(use_shm, deadline)
+
+    def _shutdown_locked(
+        self,
+        use_shm: bool,
+        deadline: CooperativeDeadline | None,
+    ) -> RestartReport | None:
+        if self.status is not LeafStatus.ALIVE:
+            raise StateError(f"cannot shut down a leaf in status {self.status.value}")
+        self.status = LeafStatus.SHUTTING_DOWN
+        self.leafmap.seal_all()
+        self.backup.sync_leafmap(self.leafmap)
+        report = None
+        if use_shm:
+            try:
+                report = self.engine.backup_to_shm(self.leafmap, deadline=deadline)
+                self.last_restart_report = report
+            except Exception:
+                # A failed/overrun copy behaves like a kill: the process
+                # dies, the valid bit is false, the next start uses disk.
+                self.status = LeafStatus.DOWN
+                raise
+        else:
+            self.leafmap = LeafMap(clock=self.clock, rows_per_block=self._rows_per_block)
+        self.status = LeafStatus.DOWN
+        return report
+
+    def crash(self) -> None:
+        """Unclean death: heap contents are simply gone.
+
+        Whatever was not yet synced to disk is lost, and any shared
+        memory state is *not* created — the next start recovers from
+        disk (the paper never trusts shared memory after a crash).
+        """
+        self.leafmap = LeafMap(clock=self.clock, rows_per_block=self._rows_per_block)
+        self.status = LeafStatus.DOWN
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        return self.status is LeafStatus.ALIVE
+
+    @property
+    def accepts_adds(self) -> bool:
+        return self.status in (LeafStatus.ALIVE, LeafStatus.RECOVERING_DISK)
+
+    @property
+    def accepts_queries(self) -> bool:
+        return self.status in (LeafStatus.ALIVE, LeafStatus.RECOVERING_DISK)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.leafmap.nbytes
+
+    @property
+    def free_memory(self) -> int:
+        """What the leaf reports when a tailer asks (paper, Section 2)."""
+        return max(0, self.capacity_bytes - self.leafmap.nbytes)
+
+    def add_rows(
+        self, table: str, rows: Iterable[Mapping[str, ColumnValue]]
+    ) -> int:
+        """Ingest a batch into one table."""
+        with self._lock:
+            if not self.accepts_adds:
+                raise StateError(
+                    f"leaf {self.leaf_id} rejects adds in status {self.status.value}"
+                )
+            return self.leafmap.get_or_create(table).add_rows(rows)
+
+    def query(self, query: Query) -> LeafExecution:
+        """Answer one query from local data."""
+        with self._lock:
+            if not self.accepts_queries:
+                raise StateError(
+                    f"leaf {self.leaf_id} rejects queries in status "
+                    f"{self.status.value}"
+                )
+            return execute_on_leaf(self.leafmap, query)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def sync_to_disk(self) -> int:
+        """A periodic sync point; returns rows written."""
+        with self._lock:
+            return self.backup.sync_leafmap(self.leafmap)
+
+    def expire(self, retention_seconds: int) -> int:
+        """Age-based expiry across all tables; returns rows dropped."""
+        if self.status is not LeafStatus.ALIVE:
+            raise StateError(
+                f"leaf {self.leaf_id} cannot expire data in status "
+                f"{self.status.value}"
+            )
+        with self._lock:
+            cutoff = int(self.clock.now()) - retention_seconds
+            dropped = 0
+            for table in self.leafmap:
+                dropped += table.expire_before(cutoff)
+                self.backup.record_expiry(table.name, cutoff)
+            return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"LeafServer(id={self.leaf_id!r}, status={self.status.value}, "
+            f"version={self.version}, rows={self.leafmap.row_count})"
+        )

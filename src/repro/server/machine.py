@@ -1,0 +1,82 @@
+"""A machine hosting several leaf servers and one aggregator.
+
+"Having eight servers allows for greater parallelism during query
+execution [...] More importantly for recovery, eight servers mean that we
+can restart the servers one at a time, while the other seven servers
+continue to execute queries."  (paper, Section 2)
+
+The machine is mostly a container — leaves do the work — but it is the
+unit at which the rollover coordinator enforces "at most one leaf per
+machine restarting" and at which the simulator models disk and memory
+bandwidth contention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.disk.backup import DiskBackup
+from repro.server.aggregator import Aggregator
+from repro.server.leaf import DEFAULT_CAPACITY_BYTES, LeafServer
+from repro.util.clock import Clock, SystemClock
+
+#: Paper: "Each machine currently runs eight leaf servers".
+DEFAULT_LEAVES_PER_MACHINE = 8
+
+
+class Machine:
+    """One machine's leaves, aggregator, and local backup directory."""
+
+    def __init__(
+        self,
+        machine_id: str,
+        backup_root: str | Path,
+        leaves_per_machine: int = DEFAULT_LEAVES_PER_MACHINE,
+        namespace: str = "scuba",
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        clock: Clock | None = None,
+        rows_per_block: int | None = None,
+        version: str = "v1",
+    ) -> None:
+        if leaves_per_machine < 1:
+            raise ValueError("a machine needs at least one leaf server")
+        self.machine_id = str(machine_id)
+        self.clock = clock or SystemClock()
+        self.leaves: list[LeafServer] = []
+        root = Path(backup_root) / f"machine-{self.machine_id}"
+        for index in range(leaves_per_machine):
+            leaf_id = f"{self.machine_id}.{index}"
+            backup = DiskBackup(root / f"leaf-{index}")
+            self.leaves.append(
+                LeafServer(
+                    leaf_id=leaf_id,
+                    backup=backup,
+                    namespace=namespace,
+                    capacity_bytes=capacity_bytes,
+                    clock=self.clock,
+                    rows_per_block=rows_per_block,
+                    version=version,
+                    machine_id=self.machine_id,
+                )
+            )
+        self.aggregator = Aggregator(self.leaves)
+
+    def start_all(self) -> None:
+        for leaf in self.leaves:
+            leaf.start()
+
+    @property
+    def restarting_leaves(self) -> list[LeafServer]:
+        """Leaves currently not alive (the rollover safety check)."""
+        return [leaf for leaf in self.leaves if not leaf.is_alive]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(leaf.used_bytes for leaf in self.leaves)
+
+    def __repr__(self) -> str:
+        alive = sum(1 for leaf in self.leaves if leaf.is_alive)
+        return (
+            f"Machine(id={self.machine_id!r}, leaves={len(self.leaves)}, "
+            f"alive={alive})"
+        )

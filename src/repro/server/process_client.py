@@ -1,0 +1,180 @@
+"""Controller-side handle on a leaf server running in its own process.
+
+:class:`LeafProcess` spawns ``repro.server.process_worker``, speaks its
+JSON-line protocol, and implements the deploy script's shutdown loop
+(paper, §4.3): send the shutdown command, wait for the process to die,
+kill it if it overruns the deadline — in which case the valid bit was
+never set and the replacement restarts from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.watchdog import DEFAULT_SHUTDOWN_DEADLINE_SECONDS, wait_or_kill
+from repro.errors import ReproError
+from repro.query.aggregate import LeafPartial, partial_from_wire
+from repro.query.query import Query
+
+
+class LeafProcessError(ReproError):
+    """The worker process misbehaved or reported an error."""
+
+
+@dataclass
+class LeafProcessConfig:
+    """Everything needed to (re)spawn one leaf worker."""
+
+    leaf_id: str
+    backup_dir: str | Path
+    namespace: str = "scuba"
+    version: str = "v1"
+    rows_per_block: int | None = None
+    capacity_bytes: int = 64 << 20
+
+    def argv(self) -> list[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.server.process_worker",
+            "--leaf-id",
+            str(self.leaf_id),
+            "--backup-dir",
+            str(self.backup_dir),
+            "--namespace",
+            self.namespace,
+            "--version",
+            self.version,
+            "--capacity-bytes",
+            str(self.capacity_bytes),
+        ]
+        if self.rows_per_block is not None:
+            argv += ["--rows-per-block", str(self.rows_per_block)]
+        return argv
+
+
+class LeafProcess:
+    """One leaf server living in a child process."""
+
+    def __init__(self, config: LeafProcessConfig, request_timeout: float = 120.0):
+        self.config = config
+        self._timeout = request_timeout
+        self._proc: subprocess.Popen | None = None
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid if self._proc else None
+
+    def spawn(self, memory_recovery_enabled: bool = True) -> dict:
+        """Start the worker process and have it recover its data.
+
+        Returns the start report: ``{"method": "shared_memory"|"disk",
+        "rows": ..., "seconds": ...}``.
+        """
+        if self.running:
+            raise LeafProcessError(f"leaf {self.config.leaf_id} is already running")
+        self._proc = subprocess.Popen(
+            self.config.argv(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        return self.request(
+            {"op": "start", "memory_recovery_enabled": memory_recovery_enabled}
+        )
+
+    def shutdown(
+        self,
+        use_shm: bool = True,
+        deadline_seconds: float = DEFAULT_SHUTDOWN_DEADLINE_SECONDS,
+    ) -> bool:
+        """The §4.3 deploy loop: ask for a clean shutdown, wait, kill on
+        overrun.  Returns True if the process exited on its own."""
+        if not self.running:
+            raise LeafProcessError(f"leaf {self.config.leaf_id} is not running")
+        assert self._proc is not None and self._proc.stdin is not None
+        self._proc.stdin.write(
+            json.dumps({"op": "shutdown", "use_shm": use_shm}) + "\n"
+        )
+        self._proc.stdin.flush()
+        clean = wait_or_kill(self._proc, timeout=deadline_seconds)
+        self._drain()
+        self._proc = None
+        return clean
+
+    def kill(self) -> None:
+        """Simulate a hard crash: SIGKILL, no shutdown protocol."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.wait()
+            self._drain()
+            self._proc = None
+
+    def _drain(self) -> None:
+        if self._proc is not None:
+            for stream in (self._proc.stdin, self._proc.stdout, self._proc.stderr):
+                if stream is not None:
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        if not self.running:
+            raise LeafProcessError(f"leaf {self.config.leaf_id} is not running")
+        assert self._proc is not None
+        assert self._proc.stdin is not None and self._proc.stdout is not None
+        self._proc.stdin.write(json.dumps(payload) + "\n")
+        self._proc.stdin.flush()
+        line = self._proc.stdout.readline()
+        if not line:
+            stderr = ""
+            if self._proc.stderr is not None:
+                stderr = self._proc.stderr.read() or ""
+            raise LeafProcessError(
+                f"leaf {self.config.leaf_id} died mid-request: {stderr.strip()[-500:]}"
+            )
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise LeafProcessError(
+                f"leaf {self.config.leaf_id}: {response.get('error', 'unknown error')}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Data plane conveniences
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def add_rows(self, table: str, rows: list[dict]) -> int:
+        return self.request({"op": "add_rows", "table": table, "rows": rows})["added"]
+
+    def query_partial(self, query: Query) -> LeafPartial:
+        response = self.request({"op": "query", "query": query.to_dict()})
+        return partial_from_wire(response["partial"])
+
+    def sync(self) -> int:
+        return self.request({"op": "sync"})["rows_synced"]
+
+    def __repr__(self) -> str:
+        state = f"pid={self.pid}" if self.running else "stopped"
+        return f"LeafProcess(leaf_id={self.config.leaf_id!r}, {state})"

@@ -1,0 +1,138 @@
+"""Operator tooling: inspect a leaf's shared memory state.
+
+What an engineer reaches for when a restart did something surprising:
+does this leaf have a metadata segment, is the valid bit set, which
+layout version wrote it, which table segments does it reference, do
+those segments exist and parse, and do their checksums hold?
+
+Everything here is read-only and never flips the valid bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptionError, LayoutVersionError, ShmError
+from repro.shm.layout import read_segment_header
+from repro.shm.metadata import LeafMetadata, metadata_segment_name
+from repro.shm.segment import ShmSegment, segment_exists
+
+
+@dataclass
+class TableSegmentInfo:
+    """One table segment as seen from outside."""
+
+    table_name: str
+    segment_name: str
+    exists: bool
+    used_bytes: int = 0
+    segment_size: int = 0
+    row_blocks: int = 0
+    error: str | None = None
+
+
+@dataclass
+class LeafShmInfo:
+    """Everything knowable about one leaf's shared memory state."""
+
+    namespace: str
+    leaf_id: str
+    metadata_exists: bool
+    valid: bool | None = None
+    layout_version: int | None = None
+    tables: list[TableSegmentInfo] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def recoverable(self) -> bool:
+        """Would a restore attempt the memory path right now?"""
+        return bool(
+            self.metadata_exists
+            and self.valid
+            and all(t.exists and t.error is None for t in self.tables)
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.used_bytes for t in self.tables)
+
+
+def inspect_leaf(namespace: str, leaf_id: str) -> LeafShmInfo:
+    """Non-destructively examine a leaf's shared memory state."""
+    info = LeafShmInfo(
+        namespace=namespace,
+        leaf_id=leaf_id,
+        metadata_exists=segment_exists(metadata_segment_name(namespace, leaf_id)),
+    )
+    if not info.metadata_exists:
+        return info
+    meta = LeafMetadata.attach(namespace, leaf_id)
+    try:
+        try:
+            info.valid = meta.valid
+            info.layout_version = meta.layout_version
+            records = meta.records
+        except (CorruptionError, LayoutVersionError) as exc:
+            info.error = f"{type(exc).__name__}: {exc}"
+            return info
+        for record in records:
+            info.tables.append(_inspect_table_segment(record))
+    finally:
+        meta.close()
+    return info
+
+
+def _inspect_table_segment(record) -> TableSegmentInfo:
+    entry = TableSegmentInfo(
+        table_name=record.table_name,
+        segment_name=record.segment_name,
+        exists=segment_exists(record.segment_name),
+        used_bytes=record.used_bytes,
+    )
+    if not entry.exists:
+        entry.error = "segment missing"
+        return entry
+    try:
+        segment = ShmSegment.attach(record.segment_name)
+    except ShmError as exc:
+        entry.error = str(exc)
+        return entry
+    try:
+        entry.segment_size = segment.size
+        view = segment.read_at(0, record.used_bytes)
+        try:
+            _, pairs = read_segment_header(view)
+            entry.row_blocks = len(pairs)
+        except (CorruptionError, LayoutVersionError) as exc:
+            entry.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            view.release()
+    finally:
+        segment.close()
+    return entry
+
+
+def format_leaf_info(info: LeafShmInfo) -> str:
+    """Human-readable report."""
+    lines = [f"leaf {info.leaf_id} (namespace {info.namespace!r})"]
+    if not info.metadata_exists:
+        lines.append("  no shared memory state")
+        return "\n".join(lines)
+    if info.error:
+        lines.append(f"  metadata unreadable: {info.error}")
+        return "\n".join(lines)
+    lines.append(
+        f"  valid bit: {'SET' if info.valid else 'clear'}   "
+        f"layout version: {info.layout_version}   "
+        f"recoverable: {'yes' if info.recoverable else 'no'}"
+    )
+    for table in info.tables:
+        if table.error:
+            status = f"ERROR: {table.error}"
+        else:
+            status = (
+                f"{table.row_blocks} row blocks, {table.used_bytes} bytes used "
+                f"of {table.segment_size}"
+            )
+        lines.append(f"  table {table.table_name!r} -> {table.segment_name}: {status}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Full-scale simulation of restarts and rollovers.
+
+The mechanisms in :mod:`repro.core` run for real at laptop scale; the
+*times* the paper reports (2–3 minutes vs 2.5–3 hours per machine, under
+an hour vs 10–12 hours per cluster) are bandwidth arithmetic over
+Facebook's 2014 hardware.  This package reproduces those numbers with a
+discrete-event simulation driven by a calibrated
+:class:`~repro.sim.hardware.HardwareProfile`; the restart policy logic is
+shared in spirit with :mod:`repro.cluster.rollover` (2% at a time, one
+leaf per machine).
+"""
+
+from repro.sim.availability import weekly_availability
+from repro.sim.events import EventQueue
+from repro.sim.hardware import HardwareProfile, paper_profile
+from repro.sim.restart import (
+    simulate_leaf_restart,
+    simulate_machine_recovery,
+)
+from repro.sim.rollover import SimRolloverResult, simulate_rollover
+
+__all__ = [
+    "EventQueue",
+    "HardwareProfile",
+    "SimRolloverResult",
+    "paper_profile",
+    "simulate_leaf_restart",
+    "simulate_machine_recovery",
+    "simulate_rollover",
+    "weekly_availability",
+]

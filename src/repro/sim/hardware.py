@@ -1,0 +1,146 @@
+"""The hardware cost model, calibrated to the paper's numbers.
+
+The paper quotes, for one machine with 144 GB of RAM holding ~120 GB of
+data across 8 leaf servers:
+
+- reading 120 GB from local disk: 20–25 minutes          (§1)
+- reading *and translating* it to heap format: 2.5–3 h   (§1, §4.5)
+- copying one leaf to shared memory at shutdown: 3–4 s   (§4.3)
+- memory recovery: "a few seconds per leaf"              (§4.3)
+- one leaf's rollover slot via shared memory: 2–3 min,
+  "including the time to detect that a leaf is done with
+  recovery and then initiate rollover for the next one"  (§4.5)
+- full-cluster rollover: 10–12 h from disk, under 1 h via
+  shared memory, of which deployment software is ~40 min (§1, §6)
+
+These are mutually consistent only if concurrent disk recoveries
+*thrash*: a 2014 Scuba machine used spinning disks, so eight interleaved
+sequential readers degrade aggregate bandwidth far below one reader's.
+The model therefore gives disk reads a concurrency penalty
+(``disk_bandwidth(k) = base / (1 + thrash * (k - 1))``), while the
+CPU-bound translate step scales with a bounded number of effective cores
+and memory copies share the machine's copy bandwidth.
+
+Every parameter is an explicit dataclass field, so benchmarks can sweep
+them (e.g. E12 swaps the translate stage out; the SSD variant of §6 sets
+``disk_seek_thrash = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MB = 1e6
+GB = 1e9
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-machine performance constants for the simulator."""
+
+    # Data geometry (paper, Sections 1-2).
+    machine_ram_gb: float = 144.0
+    data_gb_per_machine: float = 120.0
+    leaves_per_machine: int = 8
+
+    # Disk: one local spinning disk per machine, shared by its leaves.
+    disk_read_mbps: float = 90.0
+    #: Aggregate-bandwidth degradation per extra concurrent reader.
+    #: 0 = perfect sharing (SSD-like); 0.65 reproduces the 2014 numbers.
+    disk_seek_thrash: float = 0.65
+
+    # Disk-format -> heap-format translation (CPU bound).
+    translate_mbps: float = 22.5
+    #: Effective cores available to concurrent translations on a machine.
+    translate_cores: float = 4.0
+
+    # Memory: heap<->shared-memory copy bandwidth, shared per machine.
+    mem_copy_gbps: float = 4.0
+
+    # Fixed overheads.
+    process_restart_overhead_s: float = 12.0
+    #: "time to detect that a leaf is done with recovery and then
+    #: initiate rollover for the next one" (§4.5) — per rollover slot.
+    detection_overhead_s: float = 115.0
+    #: "The deployment software is responsible for about 40 minutes of
+    #: overhead." (§6) — once per cluster rollover.
+    deployment_overhead_s: float = 40.0 * MINUTE
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def data_bytes_per_leaf(self) -> float:
+        return self.data_gb_per_machine * GB / self.leaves_per_machine
+
+    def disk_aggregate_bps(self, concurrent_readers: int) -> float:
+        """Aggregate disk bandwidth with ``k`` concurrent recoveries."""
+        if concurrent_readers < 1:
+            raise ValueError("need at least one reader")
+        penalty = 1.0 + self.disk_seek_thrash * (concurrent_readers - 1)
+        return self.disk_read_mbps * MB / penalty
+
+    def disk_read_seconds(self, nbytes: float, concurrent_readers: int = 1) -> float:
+        """Time for one leaf to read ``nbytes`` with ``k`` sharing the disk."""
+        per_leaf = self.disk_aggregate_bps(concurrent_readers) / concurrent_readers
+        return nbytes / per_leaf
+
+    def translate_seconds(self, nbytes: float, concurrent: int = 1) -> float:
+        """Time to translate ``nbytes`` disk->heap with ``m`` concurrent."""
+        if concurrent < 1:
+            raise ValueError("need at least one translator")
+        share = min(1.0, self.translate_cores / concurrent)
+        return nbytes / (self.translate_mbps * MB * share)
+
+    def mem_copy_seconds(self, nbytes: float, concurrent: int = 1) -> float:
+        """One direction of a heap<->shm copy with ``m`` leaves copying."""
+        if concurrent < 1:
+            raise ValueError("need at least one copier")
+        return nbytes / (self.mem_copy_gbps * GB / concurrent)
+
+    # ------------------------------------------------------------------
+    # Restart durations (per leaf)
+    # ------------------------------------------------------------------
+
+    def disk_restart_seconds(self, concurrent_on_machine: int = 1) -> float:
+        """One leaf's full disk recovery: read + translate + overhead."""
+        nbytes = self.data_bytes_per_leaf
+        return (
+            self.disk_read_seconds(nbytes, concurrent_on_machine)
+            + self.translate_seconds(nbytes, concurrent_on_machine)
+            + self.process_restart_overhead_s
+        )
+
+    def shm_shutdown_seconds(self, concurrent_on_machine: int = 1) -> float:
+        """Copy-to-shared-memory at shutdown (paper: 3-4 s)."""
+        return self.mem_copy_seconds(self.data_bytes_per_leaf, concurrent_on_machine)
+
+    def shm_restore_seconds(self, concurrent_on_machine: int = 1) -> float:
+        """Copy-back at startup ("a few seconds per leaf")."""
+        return self.mem_copy_seconds(self.data_bytes_per_leaf, concurrent_on_machine)
+
+    def shm_restart_seconds(self, concurrent_on_machine: int = 1) -> float:
+        """One leaf's offline window via shared memory."""
+        return (
+            self.shm_shutdown_seconds(concurrent_on_machine)
+            + self.shm_restore_seconds(concurrent_on_machine)
+            + self.process_restart_overhead_s
+        )
+
+    def with_ssd(self) -> "HardwareProfile":
+        """The §6 thought experiment: solid-state storage (no seek
+        thrash, ~5x sequential bandwidth)."""
+        return replace(self, disk_read_mbps=450.0, disk_seek_thrash=0.0)
+
+    def with_shm_disk_format(self) -> "HardwareProfile":
+        """The §6 plan measured as E12: the disk holds the shared memory
+        layout, so translation becomes a near-copy at memory-ish speed."""
+        return replace(self, translate_mbps=1000.0)
+
+
+def paper_profile() -> HardwareProfile:
+    """The default, paper-calibrated profile."""
+    return HardwareProfile()

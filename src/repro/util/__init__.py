@@ -1,0 +1,36 @@
+"""Low-level helpers shared by every other subpackage.
+
+Nothing in here knows about Scuba, tables, or restarts: these are plain
+binary-encoding, checksum, bit-packing, clock, and accounting utilities.
+"""
+
+from repro.util.binary import (
+    BufferReader,
+    BufferWriter,
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.util.bits import pack_uints, unpack_uints, required_bit_width
+from repro.util.checksum import crc32_of, verify_crc32
+from repro.util.clock import Clock, ManualClock, SystemClock
+from repro.util.memtrack import MemoryTracker
+
+__all__ = [
+    "BufferReader",
+    "BufferWriter",
+    "Clock",
+    "ManualClock",
+    "MemoryTracker",
+    "SystemClock",
+    "crc32_of",
+    "decode_varint",
+    "encode_varint",
+    "pack_uints",
+    "required_bit_width",
+    "unpack_uints",
+    "verify_crc32",
+    "zigzag_decode",
+    "zigzag_encode",
+]

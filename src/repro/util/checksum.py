@@ -1,0 +1,32 @@
+"""Checksums used in row block column footers and disk records.
+
+The paper's row block column footer stores a checksum (Figure 3) so that a
+relocated or persisted buffer can prove it survived the trip intact.  We
+use CRC-32 (via the stdlib's zlib, the same polynomial as the classic
+Ethernet/PNG CRC) and expose small helpers so every call site validates
+identically.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import ChecksumMismatchError
+
+
+def crc32_of(*chunks: bytes | bytearray | memoryview) -> int:
+    """CRC-32 over the concatenation of ``chunks`` (without copying)."""
+    crc = 0
+    for chunk in chunks:
+        crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def verify_crc32(expected: int, *chunks: bytes | bytearray | memoryview) -> None:
+    """Raise :class:`ChecksumMismatchError` unless the CRC of ``chunks``
+    equals ``expected``."""
+    actual = crc32_of(*chunks)
+    if actual != expected:
+        raise ChecksumMismatchError(
+            f"checksum mismatch: stored 0x{expected:08x}, computed 0x{actual:08x}"
+        )

@@ -1,0 +1,51 @@
+"""Clock abstraction.
+
+Leaf servers stamp row blocks with creation times and expire data by age;
+the cluster simulator advances a virtual clock by hours.  Both go through
+the same tiny :class:`Clock` interface so that tests and the simulator can
+substitute a deterministic time source.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` returning seconds since epoch."""
+
+    def now(self) -> float:  # pragma: no cover - protocol stub
+        ...
+
+
+class SystemClock:
+    """The real wall clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock:
+    """A clock that only moves when told to — for tests and simulation."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rewinding raises ``ValueError``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds} seconds")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move the clock backwards ({timestamp} < {self._now})"
+            )
+        self._now = float(timestamp)

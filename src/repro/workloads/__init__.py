@@ -1,0 +1,28 @@
+"""Synthetic Scuba-like workloads.
+
+The paper motivates Scuba with monitoring use cases: code regression
+analysis, bug report monitoring, ads revenue monitoring, and performance
+debugging (Section 1).  These generators produce event tables with that
+shape — a required ``time`` column of nearly-sorted unix timestamps,
+low-cardinality string dimensions, numeric measures, and tag vectors —
+which is exactly the distribution the compression pipeline and the
+benchmarks assume.
+"""
+
+from repro.workloads.generators import (
+    ads_revenue,
+    code_regressions,
+    error_logs,
+    service_requests,
+)
+from repro.workloads.scenarios import SCENARIOS, Scenario, populate_cluster
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ads_revenue",
+    "code_regressions",
+    "error_logs",
+    "populate_cluster",
+    "service_requests",
+]

@@ -1,0 +1,118 @@
+"""Row generators for the four motivating workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.types import ColumnValue
+
+_ENDPOINTS = [
+    "/home",
+    "/profile",
+    "/photos/upload",
+    "/graphql",
+    "/ads/manager",
+    "/search",
+    "/messages/send",
+    "/feed",
+]
+_DATACENTERS = ["prn", "ash", "lla", "frc"]
+_SEVERITIES = ["debug", "info", "warning", "error", "critical"]
+_COUNTRIES = ["US", "IN", "BR", "GB", "DE", "JP", "MX", "FR"]
+_METRICS = ["cpu_instructions", "wall_time_ms", "alloc_bytes", "db_queries"]
+
+
+def _hosts(rng: random.Random, datacenter: str) -> str:
+    return f"web{rng.randrange(1000):04d}.{datacenter}"
+
+
+def service_requests(
+    n_rows: int, start_time: int = 1_390_000_000, seed: int = 0
+) -> Iterator[dict[str, ColumnValue]]:
+    """Web-tier request logs: the performance-debugging workload."""
+    rng = random.Random(seed)
+    timestamp = start_time
+    for _ in range(n_rows):
+        timestamp += rng.choice((0, 0, 0, 1))  # many events share a second
+        datacenter = rng.choice(_DATACENTERS)
+        status = rng.choices((200, 200, 200, 200, 301, 404, 500), k=1)[0]
+        tags = ["prod"]
+        if rng.random() < 0.05:
+            tags.append("canary")
+        if status >= 500:
+            tags.append("failed")
+        yield {
+            "time": timestamp,
+            "endpoint": rng.choice(_ENDPOINTS),
+            "host": _hosts(rng, datacenter),
+            "datacenter": datacenter,
+            "status": status,
+            "latency_ms": round(rng.lognormvariate(3.0, 0.8), 3),
+            "tags": tags,
+        }
+
+
+def error_logs(
+    n_rows: int, start_time: int = 1_390_000_000, seed: int = 1
+) -> Iterator[dict[str, ColumnValue]]:
+    """Error/bug-report monitoring: detect user-facing errors fast."""
+    rng = random.Random(seed)
+    timestamp = start_time
+    messages = [
+        "connection reset by peer",
+        "memcache miss storm",
+        "thrift timeout",
+        "null property access",
+        "rate limit exceeded",
+    ]
+    for _ in range(n_rows):
+        timestamp += rng.choice((0, 0, 1))
+        severity = rng.choices(_SEVERITIES, weights=(30, 40, 18, 10, 2), k=1)[0]
+        yield {
+            "time": timestamp,
+            "severity": severity,
+            "message": rng.choice(messages),
+            "stack_hash": f"{rng.randrange(1 << 20):05x}",
+            "count": rng.randrange(1, 50),
+        }
+
+
+def ads_revenue(
+    n_rows: int, start_time: int = 1_390_000_000, seed: int = 2
+) -> Iterator[dict[str, ColumnValue]]:
+    """Ads revenue monitoring: money per impression batch."""
+    rng = random.Random(seed)
+    timestamp = start_time
+    for _ in range(n_rows):
+        timestamp += rng.choice((0, 1))
+        yield {
+            "time": timestamp,
+            "campaign": f"cmp{rng.randrange(200):03d}",
+            "country": rng.choice(_COUNTRIES),
+            "impressions": rng.randrange(10, 10_000),
+            "revenue_usd": round(rng.expovariate(1 / 2.5), 4),
+        }
+
+
+def code_regressions(
+    n_rows: int, start_time: int = 1_390_000_000, seed: int = 3
+) -> Iterator[dict[str, ColumnValue]]:
+    """Code regression analysis: per-revision metric samples."""
+    rng = random.Random(seed)
+    timestamp = start_time
+    revision = 600_000
+    for _ in range(n_rows):
+        timestamp += rng.choice((0, 0, 1, 2))
+        if rng.random() < 0.01:
+            revision += 1
+        metric = rng.choice(_METRICS)
+        base = {"cpu_instructions": 5e8, "wall_time_ms": 120.0,
+                "alloc_bytes": 2e7, "db_queries": 12.0}[metric]
+        yield {
+            "time": timestamp,
+            "metric": metric,
+            "revision": revision,
+            "value": round(base * rng.lognormvariate(0.0, 0.1), 2),
+            "endpoint": rng.choice(_ENDPOINTS),
+        }

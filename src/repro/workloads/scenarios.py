@@ -1,0 +1,91 @@
+"""Named scenarios binding a generator to its table and typical query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.cluster.cluster import Cluster
+from repro.query.query import Aggregation, Filter, Query
+from repro.types import ColumnValue
+from repro.workloads.generators import (
+    ads_revenue,
+    code_regressions,
+    error_logs,
+    service_requests,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A workload: its table, generator, and a canonical dashboard query."""
+
+    name: str
+    table: str
+    generator: Callable[..., Iterator[dict[str, ColumnValue]]]
+    query: Query
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "requests": Scenario(
+        name="requests",
+        table="service_requests",
+        generator=service_requests,
+        query=Query(
+            "service_requests",
+            aggregations=(
+                Aggregation("count"),
+                Aggregation("avg", "latency_ms"),
+                Aggregation("p99", "latency_ms"),
+            ),
+            group_by=("endpoint",),
+        ),
+    ),
+    "errors": Scenario(
+        name="errors",
+        table="error_logs",
+        generator=error_logs,
+        query=Query(
+            "error_logs",
+            aggregations=(Aggregation("count"), Aggregation("sum", "count")),
+            group_by=("severity",),
+            filters=(Filter("severity", "in", ("error", "critical")),),
+        ),
+    ),
+    "ads": Scenario(
+        name="ads",
+        table="ads_revenue",
+        generator=ads_revenue,
+        query=Query(
+            "ads_revenue",
+            aggregations=(Aggregation("sum", "revenue_usd"), Aggregation("count")),
+            group_by=("country",),
+        ),
+    ),
+    "regressions": Scenario(
+        name="regressions",
+        table="code_regressions",
+        generator=code_regressions,
+        query=Query(
+            "code_regressions",
+            aggregations=(Aggregation("avg", "value"), Aggregation("p90", "value")),
+            group_by=("metric",),
+        ),
+    ),
+}
+
+
+def populate_cluster(
+    cluster: Cluster,
+    rows_per_scenario: int = 2000,
+    scenarios: list[str] | None = None,
+    start_time: int = 1_390_000_000,
+    batch_rows: int = 500,
+) -> int:
+    """Feed every (or the named) scenarios through the ingest path."""
+    total = 0
+    for name in scenarios or list(SCENARIOS):
+        scenario = SCENARIOS[name]
+        rows = scenario.generator(rows_per_scenario, start_time=start_time)
+        total += cluster.ingest(scenario.table, rows, batch_rows=batch_rows)
+    return total

@@ -1,0 +1,82 @@
+"""Shared fixtures.
+
+Every test that touches shared memory gets a unique namespace, and the
+fixture asserts at teardown that no segment with that namespace survived
+— leaked segments are real bugs in lifetime management, not test noise.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.disk.backup import DiskBackup
+from repro.util.clock import ManualClock
+
+SHM_DIR = Path("/dev/shm")
+
+
+@pytest.fixture
+def shm_namespace():
+    """A unique shared-memory namespace, leak-checked at teardown."""
+    namespace = f"reprotest-{uuid.uuid4().hex[:10]}"
+    yield namespace
+    if SHM_DIR.is_dir():
+        leaked = [p.name for p in SHM_DIR.iterdir() if p.name.startswith(namespace)]
+        for name in leaked:
+            try:
+                os.unlink(SHM_DIR / name)
+            except OSError:
+                pass
+        assert not leaked, f"leaked shared memory segments: {leaked}"
+
+
+@pytest.fixture
+def dirty_shm_namespace():
+    """Like ``shm_namespace`` but only cleans up, without asserting —
+    for tests that deliberately leave segments behind mid-scenario."""
+    namespace = f"reprotest-{uuid.uuid4().hex[:10]}"
+    yield namespace
+    if SHM_DIR.is_dir():
+        for path in SHM_DIR.iterdir():
+            if path.name.startswith(namespace):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+
+@pytest.fixture
+def clock():
+    return ManualClock(1_390_000_000.0)
+
+
+@pytest.fixture
+def backup(tmp_path):
+    return DiskBackup(tmp_path / "backup")
+
+
+def make_leafmap(clock, rows_per_block=50, tables=("events",), rows=120):
+    """A small populated leaf map for restart tests."""
+    leafmap = LeafMap(clock=clock, rows_per_block=rows_per_block)
+    for t_index, name in enumerate(tables):
+        table = leafmap.get_or_create(name)
+        table.add_rows(
+            {
+                "time": 1000 + t_index * 10_000 + i,
+                "host": f"web{i % 7:02d}",
+                "latency_ms": float(i % 250) / 2,
+                "tags": ["prod", "canary"][: (i % 3)],
+            }
+            for i in range(rows)
+        )
+    return leafmap
+
+
+@pytest.fixture
+def small_leafmap(clock):
+    return make_leafmap(clock)

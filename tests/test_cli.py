@@ -1,0 +1,70 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import RestartEngine
+
+from tests.conftest import make_leafmap
+
+
+class TestSimRollover:
+    def test_shm_rollover(self, capsys):
+        assert main(["sim-rollover", "--strategy", "shm", "--machines", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "shm rollover of 160 leaves" in out
+        assert "availability" in out
+
+    def test_dashboard_flag(self, capsys):
+        main(["sim-rollover", "--machines", "10", "--dashboard", "4"])
+        out = capsys.readouterr().out
+        assert "avail  bar" in out
+
+    def test_leaves_per_machine_override(self, capsys):
+        main(["sim-rollover", "--machines", "10", "--leaves-per-machine", "2"])
+        assert "20 leaves" in capsys.readouterr().out
+
+
+class TestAvailability:
+    def test_paper_number(self, capsys):
+        assert main(["availability", "--rollover-hours", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "92.86%" in out
+
+    def test_cadence(self, capsys):
+        main(["availability", "--rollover-hours", "1", "--per-week", "3"])
+        assert "3.0/week" in capsys.readouterr().out
+
+
+class TestInspectShm:
+    def test_absent_leaf_exits_nonzero(self, shm_namespace, capsys):
+        code = main(["inspect-shm", "--namespace", shm_namespace, "--leaf-id", "9"])
+        assert code == 1
+        assert "no shared memory state" in capsys.readouterr().out
+
+    def test_present_leaf(self, shm_namespace, clock, capsys):
+        engine = RestartEngine("7", namespace=shm_namespace, clock=clock)
+        engine.backup_to_shm(make_leafmap(clock))
+        code = main(["inspect-shm", "--namespace", shm_namespace, "--leaf-id", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid bit: SET" in out
+        engine.discard_shm()
+
+
+class TestBenchRestart:
+    def test_runs_and_reports_speedup(self, capsys):
+        assert main(["bench-restart", "--rows", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "restore from shared memory" in out
+        assert "faster" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,79 @@
+"""Tests for the leaf map."""
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.table import Table
+from repro.errors import SchemaError
+from repro.util.clock import ManualClock
+
+
+def make_map():
+    return LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+
+
+class TestLeafMap:
+    def test_create_get(self):
+        leafmap = make_map()
+        table = leafmap.create_table("events")
+        assert leafmap.get_table("events") is table
+        assert "events" in leafmap
+        assert len(leafmap) == 1
+
+    def test_duplicate_create_rejected(self):
+        leafmap = make_map()
+        leafmap.create_table("events")
+        with pytest.raises(SchemaError):
+            leafmap.create_table("events")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(SchemaError):
+            make_map().get_table("nope")
+
+    def test_get_or_create_idempotent(self):
+        leafmap = make_map()
+        assert leafmap.get_or_create("x") is leafmap.get_or_create("x")
+
+    def test_drop(self):
+        leafmap = make_map()
+        leafmap.create_table("events")
+        leafmap.drop_table("events")
+        assert "events" not in leafmap
+        with pytest.raises(SchemaError):
+            leafmap.drop_table("events")
+
+    def test_adopt(self):
+        leafmap = make_map()
+        table = Table("adopted", clock=ManualClock(0.0))
+        leafmap.adopt_table(table)
+        assert leafmap.get_table("adopted") is table
+        with pytest.raises(SchemaError):
+            leafmap.adopt_table(Table("adopted"))
+
+    def test_aggregates(self):
+        leafmap = make_map()
+        leafmap.get_or_create("a").add_rows({"time": i} for i in range(25))
+        leafmap.get_or_create("b").add_rows({"time": i} for i in range(5))
+        assert leafmap.row_count == 30
+        assert leafmap.nbytes > 0
+        assert sorted(leafmap.table_names) == ["a", "b"]
+
+    def test_seal_all(self):
+        leafmap = make_map()
+        leafmap.get_or_create("a").add_rows({"time": i} for i in range(3))
+        leafmap.seal_all()
+        assert leafmap.get_table("a").buffered_row_count == 0
+        assert leafmap.get_table("a").block_count == 1
+
+    def test_snapshot_rows(self):
+        leafmap = make_map()
+        leafmap.get_or_create("a").add_rows({"time": i} for i in range(3))
+        snap = leafmap.snapshot_rows()
+        assert list(snap) == ["a"]
+        assert [r["time"] for r in snap["a"]] == [0, 1, 2]
+
+    def test_rows_per_block_propagates(self):
+        leafmap = make_map()
+        table = leafmap.create_table("t")
+        table.add_rows({"time": i} for i in range(10))
+        assert table.block_count == 1  # sealed at 10, the map's setting

@@ -1,0 +1,101 @@
+"""Tests for schemas and type inference."""
+
+import pytest
+
+from repro.columnstore.schema import Schema, infer_column_type
+from repro.errors import SchemaError
+from repro.types import ColumnType
+from repro.util.binary import BufferReader, BufferWriter
+
+
+class TestInference:
+    def test_basic_types(self):
+        assert infer_column_type(1) is ColumnType.INT64
+        assert infer_column_type(1.5) is ColumnType.FLOAT64
+        assert infer_column_type("x") is ColumnType.STRING
+        assert infer_column_type(["x"]) is ColumnType.STRING_VECTOR
+
+    def test_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_column_type(True)
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_column_type({"nested": 1})
+
+
+class TestSchema:
+    def test_requires_time_column(self):
+        with pytest.raises(SchemaError):
+            Schema({"host": ColumnType.STRING})
+
+    def test_time_must_be_int64(self):
+        with pytest.raises(SchemaError):
+            Schema({"time": ColumnType.STRING})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"time": ColumnType.INT64, "": ColumnType.STRING})
+
+    def test_from_rows_union(self):
+        rows = [
+            {"time": 1, "host": "a"},
+            {"time": 2, "latency": 1.5},
+        ]
+        schema = Schema.from_rows(rows)
+        assert set(schema.names) == {"time", "host", "latency"}
+        assert schema.type_of("latency") is ColumnType.FLOAT64
+
+    def test_from_rows_conflict_raises(self):
+        rows = [{"time": 1, "v": 1}, {"time": 2, "v": "oops"}]
+        with pytest.raises(SchemaError):
+            Schema.from_rows(rows)
+
+    def test_from_rows_without_time_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.from_rows([{"host": "a"}])
+
+    def test_unknown_column_raises(self):
+        schema = Schema({"time": ColumnType.INT64})
+        with pytest.raises(SchemaError):
+            schema.type_of("missing")
+
+    def test_column_values_fill_defaults(self):
+        schema = Schema(
+            {"time": ColumnType.INT64, "host": ColumnType.STRING,
+             "v": ColumnType.FLOAT64, "tags": ColumnType.STRING_VECTOR}
+        )
+        rows = [{"time": 1}, {"time": 2, "host": "x", "v": 2, "tags": ["a"]}]
+        assert schema.column_values("host", rows) == ["", "x"]
+        assert schema.column_values("v", rows) == [0.0, 2.0]
+        assert schema.column_values("tags", rows) == [[], ["a"]]
+
+    def test_column_values_copies_lists(self):
+        schema = Schema({"time": ColumnType.INT64, "tags": ColumnType.STRING_VECTOR})
+        tags = ["a"]
+        values = schema.column_values("tags", [{"time": 1, "tags": tags}])
+        values[0].append("mutated")
+        assert tags == ["a"]
+
+    def test_column_values_type_checked(self):
+        schema = Schema({"time": ColumnType.INT64, "host": ColumnType.STRING})
+        with pytest.raises(TypeError):
+            schema.column_values("host", [{"time": 1, "host": 5}])
+
+    def test_serialize_roundtrip(self):
+        schema = Schema(
+            {"time": ColumnType.INT64, "host": ColumnType.STRING,
+             "tags": ColumnType.STRING_VECTOR}
+        )
+        writer = BufferWriter()
+        schema.serialize(writer)
+        assert Schema.deserialize(BufferReader(writer.getvalue())) == schema
+
+    def test_equality_is_order_sensitive(self):
+        a = Schema({"time": ColumnType.INT64, "x": ColumnType.STRING})
+        b = Schema({"x": ColumnType.STRING, "time": ColumnType.INT64})
+        assert a != b  # column order is part of the layout
+
+    def test_hashable(self):
+        schema = Schema({"time": ColumnType.INT64})
+        assert schema in {schema}

@@ -1,0 +1,62 @@
+"""Tests for table statistics."""
+
+from repro.columnstore.stats import format_table_stats, table_stats
+from repro.columnstore.table import Table
+from repro.types import ColumnType
+from repro.util.clock import ManualClock
+from repro.workloads import service_requests
+
+
+def make_table(rows=300):
+    table = Table("service_requests", clock=ManualClock(0.0), rows_per_block=100)
+    table.add_rows(service_requests(rows))
+    table.seal_buffer()
+    return table
+
+
+class TestTableStats:
+    def test_counts_and_range(self):
+        table = make_table()
+        stats = table_stats(table)
+        assert stats.row_count == 300
+        assert stats.block_count == 3
+        assert stats.buffered_rows == 0
+        assert stats.min_time is not None and stats.max_time >= stats.min_time
+        assert stats.compressed_bytes == table.sealed_nbytes
+
+    def test_per_column_breakdown(self):
+        stats = table_stats(make_table())
+        names = {column.name for column in stats.columns}
+        assert "time" in names and "endpoint" in names
+        time_column = next(c for c in stats.columns if c.name == "time")
+        assert time_column.ctype is ColumnType.INT64
+        # small 100-row blocks carry fixed RBC header overhead;
+        # the ratio still clears 5x (30x+ at production block sizes)
+        assert time_column.compression_ratio > 5
+
+    def test_overall_ratio_reflects_monitoring_shape(self):
+        stats = table_stats(make_table())
+        assert stats.compression_ratio > 3
+
+    def test_empty_table(self):
+        table = Table("empty", clock=ManualClock(0.0))
+        stats = table_stats(table)
+        assert stats.row_count == 0
+        assert stats.block_count == 0
+        assert stats.min_time is None
+        assert stats.compression_ratio == 1.0
+
+    def test_buffered_only_table(self):
+        table = Table("buffered", clock=ManualClock(0.0), rows_per_block=1000)
+        table.add_rows({"time": i} for i in range(10))
+        stats = table_stats(table)
+        assert stats.row_count == 10
+        assert stats.buffered_rows == 10
+        assert stats.block_count == 0
+
+    def test_format_contains_key_lines(self):
+        report = format_table_stats(table_stats(make_table()))
+        assert "service_requests" in report
+        assert "row blocks" in report
+        assert "time range" in report
+        assert "INT64" in report

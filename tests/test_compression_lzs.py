@@ -1,0 +1,86 @@
+"""Tests for the from-scratch LZ codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lzs import lz_compress, lz_decompress
+from repro.errors import CorruptionError
+
+
+class TestLzRoundtrip:
+    def test_empty(self):
+        assert lz_compress(b"") == b""
+        assert lz_decompress(b"") == b""
+
+    def test_tiny_input(self):
+        for data in (b"a", b"ab", b"abc"):
+            assert lz_decompress(lz_compress(data)) == data
+
+    def test_repetitive_compresses_well(self):
+        data = b"GET /api/users 200 OK " * 500
+        compressed = lz_compress(data)
+        assert lz_decompress(compressed) == data
+        assert len(compressed) < len(data) / 10
+
+    def test_incompressible_survives(self):
+        import random
+
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(4096))
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_overlapping_match(self):
+        # distance < length forces the byte-by-byte overlap copy path
+        data = b"ab" * 1000
+        compressed = lz_compress(data)
+        assert lz_decompress(compressed) == data
+        assert len(compressed) < 50
+
+    def test_all_same_byte(self):
+        data = b"\x00" * 10_000
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_match_at_end(self):
+        data = b"0123456789" + b"abcdefgh" + b"abcdefgh"
+        assert lz_decompress(lz_compress(data)) == data
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=3000))
+    def test_roundtrip_property(self, data):
+        assert lz_decompress(lz_compress(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from([b"host=web", b"status=200", b" ", b"err", b"\x00\x01"]),
+            max_size=400,
+        )
+    )
+    def test_roundtrip_structured_property(self, parts):
+        data = b"".join(parts)
+        assert lz_decompress(lz_compress(data)) == data
+
+
+class TestLzCorruption:
+    def test_truncated_literals(self):
+        compressed = lz_compress(b"hello world, hello world, hello world")
+        with pytest.raises(CorruptionError):
+            lz_decompress(compressed[: len(compressed) // 2])
+
+    def test_bad_distance(self):
+        # literal_len=0, match_len=4, distance=9 with empty output
+        stream = bytes([0, 4, 9])
+        with pytest.raises(CorruptionError):
+            lz_decompress(stream)
+
+    def test_missing_terminator(self):
+        # A stream that ends right after a valid literal run
+        stream = bytes([3]) + b"abc"
+        with pytest.raises(CorruptionError):
+            lz_decompress(stream)
+
+    def test_nonzero_distance_on_terminator(self):
+        stream = bytes([1]) + b"a" + bytes([0, 5])
+        with pytest.raises(CorruptionError):
+            lz_decompress(stream)

@@ -1,0 +1,107 @@
+"""Tests for the per-type compression pipelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import CompressionFlags, decode_column, encode_column
+from repro.types import ColumnType
+
+
+class TestInt64Pipeline:
+    def test_applies_at_least_two_methods(self):
+        encoded = encode_column(ColumnType.INT64, list(range(1000)))
+        methods = [
+            flag
+            for flag in (
+                CompressionFlags.DICT,
+                CompressionFlags.DELTA,
+                CompressionFlags.ZIGZAG,
+                CompressionFlags.BITPACK,
+                CompressionFlags.LZ,
+                CompressionFlags.SHUFFLE,
+            )
+            if flag in encoded.flags
+        ]
+        assert len(methods) >= 2
+
+    def test_timestamp_compression_factor(self):
+        # Nearly-sorted timestamps: the paper's ~30x factor territory.
+        values = [1_390_000_000 + i // 3 for i in range(10_000)]
+        encoded = encode_column(ColumnType.INT64, values)
+        assert 8 * len(values) / encoded.payload_size > 20
+
+
+class TestStringPipeline:
+    def test_low_cardinality_uses_dictionary(self):
+        values = ["webserver", "database", "cache"] * 300
+        encoded = encode_column(ColumnType.STRING, values)
+        assert CompressionFlags.DICT in encoded.flags
+        assert decode_column(ColumnType.STRING, encoded) == values
+        assert encoded.payload_size < sum(len(v) for v in values) / 5
+
+    def test_high_cardinality_skips_dictionary(self):
+        values = [f"request-{i:08x}" for i in range(500)]
+        encoded = encode_column(ColumnType.STRING, values)
+        assert CompressionFlags.DICT not in encoded.flags
+        assert decode_column(ColumnType.STRING, encoded) == values
+
+    def test_empty_strings(self):
+        values = ["", "", "x", ""]
+        encoded = encode_column(ColumnType.STRING, values)
+        assert decode_column(ColumnType.STRING, encoded) == values
+
+    def test_large_dictionary_gets_lz(self):
+        # Many long distinct-but-similar entries, repeated enough to
+        # stay under the cardinality cutoff.
+        distinct = [f"/var/www/htdocs/site/section{i:03d}/index.php" for i in range(40)]
+        values = distinct * 10
+        encoded = encode_column(ColumnType.STRING, values)
+        assert CompressionFlags.DICT_LZ in encoded.flags
+        assert decode_column(ColumnType.STRING, encoded) == values
+
+
+class TestVectorPipeline:
+    def test_mixed_lengths(self):
+        values = [["a", "b"], [], ["c"], ["a", "a", "a"]] * 50
+        encoded = encode_column(ColumnType.STRING_VECTOR, values)
+        assert decode_column(ColumnType.STRING_VECTOR, encoded) == values
+
+    def test_all_empty_vectors(self):
+        values = [[] for _ in range(20)]
+        encoded = encode_column(ColumnType.STRING_VECTOR, values)
+        assert decode_column(ColumnType.STRING_VECTOR, encoded) == values
+
+    def test_empty_column(self):
+        encoded = encode_column(ColumnType.STRING_VECTOR, [])
+        assert decode_column(ColumnType.STRING_VECTOR, encoded) == []
+
+
+class TestPipelineGeneral:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_column("not-a-type", [1])
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=200))
+    def test_int_roundtrip_property(self, values):
+        encoded = encode_column(ColumnType.INT64, values)
+        assert decode_column(ColumnType.INT64, encoded) == values
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, width=64), max_size=150))
+    def test_float_roundtrip_property(self, values):
+        encoded = encode_column(ColumnType.FLOAT64, values)
+        assert decode_column(ColumnType.FLOAT64, encoded) == values
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.text(max_size=15), max_size=150))
+    def test_string_roundtrip_property(self, values):
+        encoded = encode_column(ColumnType.STRING, values)
+        assert decode_column(ColumnType.STRING, encoded) == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.text(max_size=8), max_size=5), max_size=80))
+    def test_vector_roundtrip_property(self, values):
+        encoded = encode_column(ColumnType.STRING_VECTOR, values)
+        assert decode_column(ColumnType.STRING_VECTOR, encoded) == values

@@ -1,0 +1,49 @@
+"""Tests for the shutdown watchdogs (paper, Section 4.3)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.watchdog import CooperativeDeadline, wait_or_kill
+from repro.errors import ShutdownTimeout
+from repro.util.clock import ManualClock
+
+
+class TestCooperativeDeadline:
+    def test_not_expired_initially(self):
+        clock = ManualClock(0.0)
+        deadline = CooperativeDeadline(timeout=180.0, clock=clock)
+        assert not deadline.expired
+        assert deadline.remaining == 180.0
+        deadline.check()  # no raise
+
+    def test_expires_with_time(self):
+        clock = ManualClock(0.0)
+        deadline = CooperativeDeadline(timeout=10.0, clock=clock)
+        clock.advance(10.0)
+        assert deadline.expired
+        with pytest.raises(ShutdownTimeout):
+            deadline.check()
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            CooperativeDeadline(timeout=0.0)
+
+    def test_remaining_counts_down(self):
+        clock = ManualClock(0.0)
+        deadline = CooperativeDeadline(timeout=30.0, clock=clock)
+        clock.advance(12.0)
+        assert deadline.remaining == 18.0
+
+
+class TestWaitOrKill:
+    def test_fast_exit_not_killed(self):
+        process = subprocess.Popen([sys.executable, "-c", "pass"])
+        assert wait_or_kill(process, timeout=30.0) is True
+        assert process.returncode == 0
+
+    def test_hung_process_killed(self):
+        process = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(600)"])
+        assert wait_or_kill(process, timeout=0.5) is False
+        assert process.returncode != 0

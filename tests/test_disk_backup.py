@@ -1,0 +1,120 @@
+"""Tests for the disk backup manager and legacy recovery."""
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.disk.backup import DiskBackup
+from repro.disk.recovery import recover_leafmap, recover_table_rows
+from repro.errors import RecoveryError
+from repro.util.clock import ManualClock
+
+
+def make_map(rows=30):
+    leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+    table = leafmap.get_or_create("events")
+    table.add_rows({"time": 100 + i, "host": f"h{i % 3}"} for i in range(rows))
+    return leafmap
+
+
+class TestSync:
+    def test_first_sync_writes_everything(self, backup):
+        leafmap = make_map()
+        assert backup.sync_leafmap(leafmap) == 30
+        assert backup.synced_rows("events") == 30
+
+    def test_sync_is_incremental(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        assert backup.sync_leafmap(leafmap) == 0
+        leafmap.get_table("events").add_rows([{"time": 200}])
+        assert backup.sync_leafmap(leafmap) == 1
+
+    def test_sync_after_expiry_without_new_rows(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        leafmap.get_table("events").expire_before(110)
+        backup.record_expiry("events", 110)
+        assert backup.sync_leafmap(leafmap) == 0
+
+    def test_expiry_watermark_never_regresses(self, backup):
+        backup.record_expiry("events", 100)
+        backup.record_expiry("events", 50)
+        assert backup.expire_cutoff("events") == 100
+
+
+class TestRecovery:
+    def test_roundtrip_equality(self, backup):
+        leafmap = make_map()
+        leafmap.get_or_create("empty_buffered").add_rows([{"time": 5, "x": 1.0}])
+        backup.sync_leafmap(leafmap)
+        recovered = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        total = recover_leafmap(backup, recovered)
+        assert total == 31
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+
+    def test_recovery_applies_expiry_watermark(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        leafmap.get_table("events").expire_before(110)
+        backup.record_expiry("events", 110)
+        recovered = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        recover_leafmap(backup, recovered)
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+        assert min(r["time"] for r in recovered.get_table("events").to_rows()) >= 110
+
+    def test_recovery_requires_empty_map(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        with pytest.raises(RecoveryError):
+            recover_leafmap(backup, leafmap)
+
+    def test_incremental_sync_after_recovery(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        recovered = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        recover_leafmap(backup, recovered)
+        recovered.get_table("events").add_rows([{"time": 999}])
+        assert backup.sync_leafmap(recovered) == 1
+        # And a second recovery sees the appended row too.
+        second = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        recover_leafmap(backup, second)
+        assert second.get_table("events").row_count == 31
+
+    def test_missing_table_file_yields_nothing(self, backup):
+        assert list(recover_table_rows(backup, "ghost")) == []
+
+    def test_recovery_of_empty_backup(self, backup):
+        recovered = LeafMap(clock=ManualClock(0.0))
+        assert recover_leafmap(backup, recovered) == 0
+        assert len(recovered) == 0
+
+
+class TestMaintenance:
+    def test_drop_table(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        assert backup.table_file("events").exists()
+        backup.drop_table("events")
+        assert not backup.table_file("events").exists()
+        assert "events" not in backup.table_names
+
+    def test_wipe(self, backup):
+        backup.sync_leafmap(make_map())
+        backup.wipe()
+        assert backup.table_names == []
+
+    def test_weird_table_names_are_filesystem_safe(self, backup):
+        leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        leafmap.get_or_create("weird/../name with spaces").add_rows([{"time": 1}])
+        backup.sync_leafmap(leafmap)
+        recovered = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        recover_leafmap(backup, recovered)
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+        # The file must live inside the backup directory.
+        assert backup.table_file("weird/../name with spaces").parent == backup.directory
+
+    def test_manifest_survives_manager_restart(self, backup, tmp_path):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        reopened = DiskBackup(backup.directory)
+        assert reopened.synced_rows("events") == 30

@@ -1,0 +1,108 @@
+"""Tests for the legacy row-oriented disk format."""
+
+import io
+
+import pytest
+
+from repro.disk.format import (
+    read_file_header,
+    read_table_chunks,
+    write_chunk,
+    write_file_header,
+)
+from repro.errors import CorruptionError
+
+
+def rows_fixture():
+    return [
+        {"time": 1, "host": "a", "v": 1.5, "tags": ["x", "y"]},
+        {"time": 2, "host": "b", "v": -2.0, "tags": []},
+    ]
+
+
+def file_with_chunks(*chunk_lists):
+    buf = io.BytesIO()
+    write_file_header(buf)
+    for rows in chunk_lists:
+        write_chunk(buf, rows)
+    buf.seek(0)
+    return buf
+
+
+class TestChunkRoundtrip:
+    def test_single_chunk(self):
+        buf = file_with_chunks(rows_fixture())
+        chunks = list(read_table_chunks(buf))
+        assert chunks == [rows_fixture()]
+
+    def test_multiple_chunks_preserve_order(self):
+        buf = file_with_chunks([{"time": 1}], [{"time": 2}], [{"time": 3}])
+        chunks = list(read_table_chunks(buf))
+        assert [c[0]["time"] for c in chunks] == [1, 2, 3]
+
+    def test_empty_chunk(self):
+        buf = file_with_chunks([])
+        assert list(read_table_chunks(buf)) == [[]]
+
+    def test_all_value_types(self):
+        rows = [{"time": 0, "i": -(2**60), "f": 3.75, "s": "héllo", "v": ["a", ""]}]
+        buf = file_with_chunks(rows)
+        assert list(read_table_chunks(buf)) == [rows]
+
+    def test_bool_rejected_at_write(self):
+        buf = io.BytesIO()
+        write_file_header(buf)
+        with pytest.raises(CorruptionError):
+            write_chunk(buf, [{"time": 0, "flag": True}])
+
+
+class TestTornWrites:
+    def test_torn_final_header_is_skipped(self):
+        buf = file_with_chunks(rows_fixture())
+        data = buf.getvalue() + b"\x43"  # one stray byte: torn next header
+        chunks = list(read_table_chunks(io.BytesIO(data)))
+        assert chunks == [rows_fixture()]
+
+    def test_torn_final_payload_is_skipped(self):
+        full = file_with_chunks(rows_fixture(), rows_fixture()).getvalue()
+        torn = full[:-3]
+        chunks = list(read_table_chunks(io.BytesIO(torn)))
+        assert chunks == [rows_fixture()]
+
+    def test_corrupt_final_chunk_at_eof_is_skipped(self):
+        full = bytearray(file_with_chunks(rows_fixture()).getvalue())
+        full[-1] ^= 0xFF  # flip a payload byte of the last chunk
+        chunks = list(read_table_chunks(io.BytesIO(bytes(full))))
+        assert chunks == []
+
+    def test_corrupt_midfile_chunk_raises(self):
+        full = bytearray(file_with_chunks(rows_fixture(), rows_fixture()).getvalue())
+        # Flip a byte inside the first chunk's payload.
+        header_len = 8
+        full[header_len + 20] ^= 0x01
+        with pytest.raises(CorruptionError):
+            list(read_table_chunks(io.BytesIO(bytes(full))))
+
+    def test_bad_chunk_magic_midfile_raises(self):
+        buf = io.BytesIO()
+        write_file_header(buf)
+        buf.write(b"JUNKJUNKJUNKJUNKJUNK")
+        buf.seek(0)
+        with pytest.raises(CorruptionError):
+            list(read_table_chunks(buf))
+
+
+class TestFileHeader:
+    def test_missing_header(self):
+        with pytest.raises(CorruptionError):
+            read_file_header(io.BytesIO(b"\x00"))
+
+    def test_wrong_magic(self):
+        with pytest.raises(CorruptionError):
+            read_file_header(io.BytesIO(b"XXXXXXXX"))
+
+    def test_empty_file_yields_nothing_after_header(self):
+        buf = io.BytesIO()
+        write_file_header(buf)
+        buf.seek(0)
+        assert list(read_table_chunks(buf)) == []

@@ -1,0 +1,78 @@
+"""Tests for the shm-layout-on-disk format (paper §6 / experiment E12)."""
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.disk.shmformat import (
+    read_table_shm_format,
+    recover_leafmap_shm_format,
+    write_leafmap_shm_format,
+    write_table_shm_format,
+)
+from repro.errors import ChecksumMismatchError, CorruptionError
+from repro.util.clock import ManualClock
+
+
+def make_map():
+    leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+    table = leafmap.get_or_create("events")
+    table.add_rows({"time": i, "host": f"h{i % 2}"} for i in range(25))
+    leafmap.seal_all()
+    return leafmap
+
+
+class TestShmDiskFormat:
+    def test_table_roundtrip(self, tmp_path):
+        leafmap = make_map()
+        blocks = leafmap.get_table("events").blocks
+        path = write_table_shm_format(tmp_path, "events", blocks)
+        name, recovered = read_table_shm_format(path)
+        assert name == "events"
+        assert [b.to_rows() for b in recovered] == [b.to_rows() for b in blocks]
+
+    def test_leafmap_roundtrip(self, tmp_path):
+        leafmap = make_map()
+        leafmap.get_or_create("other").add_rows([{"time": 9}])
+        leafmap.seal_all()
+        write_leafmap_shm_format(tmp_path, leafmap)
+        recovered = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        total = recover_leafmap_shm_format(tmp_path, recovered)
+        assert total == 26
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        leafmap = make_map()
+        path = write_table_shm_format(
+            tmp_path, "events", leafmap.get_table("events").blocks
+        )
+        raw = bytearray(path.read_bytes())
+        raw[40] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ChecksumMismatchError):
+            read_table_shm_format(path)
+
+    def test_truncation_detected(self, tmp_path):
+        leafmap = make_map()
+        path = write_table_shm_format(
+            tmp_path, "events", leafmap.get_table("events").blocks
+        )
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptionError):
+            read_table_shm_format(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        leafmap = make_map()
+        path = write_table_shm_format(
+            tmp_path, "events", leafmap.get_table("events").blocks
+        )
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptionError):
+            read_table_shm_format(path)
+
+    def test_empty_table(self, tmp_path):
+        path = write_table_shm_format(tmp_path, "bare", [])
+        name, blocks = read_table_shm_format(path)
+        assert name == "bare" and blocks == []

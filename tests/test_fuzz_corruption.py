@@ -1,0 +1,164 @@
+"""Corruption fuzzing: hostile bytes never escape the error hierarchy.
+
+A restore reads bytes written by another process; if those bytes are
+garbage (a partially-written segment, a disk sector gone bad, an
+operator's stray write), every reader must fail with a
+:class:`~repro.errors.ReproError` subclass — never an uncontrolled
+IndexError/struct.error/UnicodeDecodeError — and never loop or crash the
+interpreter.  The restart engine additionally must convert any such
+failure into a disk fallback, which test_core_engine covers; here we
+fuzz the parsers themselves.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore.rbc import RowBlockColumn, build_rbc
+from repro.columnstore.rowblock import RowBlock
+from repro.errors import ReproError
+from repro.shm.layout import read_segment_header
+from repro.types import ColumnType
+
+ACCEPTABLE = (ReproError,)
+
+
+def sample_rbc():
+    return build_rbc(ColumnType.STRING, ["alpha", "beta", "alpha"] * 10)
+
+
+def sample_packed_block():
+    rows = [{"time": i, "host": f"h{i % 2}", "v": float(i)} for i in range(30)]
+    return RowBlock.from_rows(rows, created_at=1.0).pack()
+
+
+class TestRbcFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_random_bytes_never_crash(self, data):
+        try:
+            column = RowBlockColumn(data)
+            column.verify()
+            column.values(ColumnType.STRING)
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_mutated_valid_buffer_never_crashes(self, data):
+        buf = bytearray(sample_rbc())
+        n_mutations = data.draw(st.integers(min_value=1, max_value=8))
+        for _ in range(n_mutations):
+            index = data.draw(st.integers(min_value=0, max_value=len(buf) - 1))
+            buf[index] = data.draw(st.integers(min_value=0, max_value=255))
+        try:
+            column = RowBlockColumn(bytes(buf))
+            column.verify()
+            column.values(ColumnType.STRING)
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_truncations_never_crash(self, cut):
+        buf = sample_rbc()
+        try:
+            RowBlockColumn(buf[: min(cut, len(buf))]).verify()
+        except ACCEPTABLE:
+            pass
+
+
+class TestPackedBlockFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(min_size=0, max_size=400))
+    def test_random_bytes_never_crash(self, data):
+        try:
+            RowBlock.unpack(data)
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_mutated_block_never_crashes(self, data):
+        buf = bytearray(sample_packed_block())
+        for _ in range(data.draw(st.integers(min_value=1, max_value=6))):
+            index = data.draw(st.integers(min_value=0, max_value=len(buf) - 1))
+            buf[index] ^= 1 << data.draw(st.integers(min_value=0, max_value=7))
+        try:
+            block = RowBlock.unpack(bytes(buf))
+            block.verify()
+            block.to_rows()
+        except ACCEPTABLE:
+            pass
+
+
+class TestSegmentHeaderFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_random_bytes_never_crash(self, data):
+        try:
+            read_segment_header(memoryview(data))
+        except ACCEPTABLE:
+            pass
+
+
+class TestDiskChunkFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=0, max_size=400))
+    def test_random_file_never_crashes(self, data):
+        import io
+
+        from repro.disk.format import read_table_chunks
+
+        try:
+            list(read_table_chunks(io.BytesIO(data)))
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_mutated_file_never_crashes(self, data):
+        import io
+
+        from repro.disk.format import read_table_chunks, write_chunk, write_file_header
+
+        buf = io.BytesIO()
+        write_file_header(buf)
+        write_chunk(buf, [{"time": 1, "host": "a", "v": 0.5}] * 5)
+        raw = bytearray(buf.getvalue())
+        index = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        raw[index] ^= 0xFF
+        try:
+            list(read_table_chunks(io.BytesIO(bytes(raw))))
+        except ACCEPTABLE:
+            pass
+
+
+class TestMetadataFuzz:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(st.binary(min_size=0, max_size=64))
+    def test_garbage_metadata_never_crashes(self, dirty_shm_namespace, prefix):
+        """A metadata segment overwritten with garbage must fail with a
+        library error and route the engine to disk (the engine path is
+        asserted in test_core_engine; here we check the parser)."""
+        from repro.shm.metadata import LeafMetadata
+        from repro.shm.segment import ShmSegment
+
+        import uuid as _uuid
+
+        name = f"{dirty_shm_namespace}-leaf-fz{_uuid.uuid4().hex[:6]}-meta"
+        segment = ShmSegment.create(name, 4096)
+        try:
+            segment.write_at(0, prefix)
+            meta = LeafMetadata(segment)
+            try:
+                meta.valid
+                meta.records
+            except ACCEPTABLE:
+                pass
+        finally:
+            segment.unlink()

@@ -1,0 +1,89 @@
+"""The paper's second benefit: heap format evolves, shm layout stays.
+
+"Copying also [...] allows us to modify the in-memory format (in heap
+memory) and rollover to the new format using shared memory" (§1, §6:
+"separating the heap data structures from the shared memory data
+structures means that we can modify the heap data format and restart
+using shared memory").
+
+In this implementation the heap "format" includes policy choices like
+rows-per-block; the shared memory layout is versioned independently.
+These tests pin both directions: heap policy changes ride through an
+shm restart, and an shm layout change refuses the old segments.
+"""
+
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod, RestartEngine
+from repro.disk.backup import DiskBackup
+from repro.shm.layout import SHM_LAYOUT_VERSION
+
+
+class TestHeapFormatEvolution:
+    def test_new_binary_with_different_block_policy_restores_via_shm(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """Old binary: 32-row blocks.  New binary: 128-row blocks.  The
+        restore succeeds from shared memory; recovered blocks keep their
+        old shape (they were sealed under the old policy) while newly
+        ingested data seals under the new one."""
+        backup = DiskBackup(tmp_path / "b")
+        old_map = LeafMap(clock=clock, rows_per_block=32)
+        old_map.get_or_create("t").add_rows({"time": i} for i in range(96))
+        old_map.seal_all()
+        snapshot = old_map.snapshot_rows()
+        RestartEngine("e", namespace=shm_namespace, backup=backup, clock=clock).backup_to_shm(
+            old_map
+        )
+
+        new_map = LeafMap(clock=clock, rows_per_block=128)  # the "new heap format"
+        report = RestartEngine(
+            "e", namespace=shm_namespace, backup=backup, clock=clock
+        ).restore(new_map)
+        assert report.method is RecoveryMethod.SHARED_MEMORY
+        assert new_map.snapshot_rows() == snapshot
+        table = new_map.get_table("t")
+        assert table.block_count == 3  # old 32-row blocks survived intact
+        table.add_rows({"time": 1000 + i} for i in range(128))
+        assert table.block_count == 4  # new data sealed under the new policy
+        assert table.blocks[-1].row_count == 128
+
+    def test_changed_shm_layout_version_refuses_old_segments(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """The guard for the *other* format: when the shared memory
+        layout itself changes, the version number routes to disk."""
+        backup = DiskBackup(tmp_path / "b")
+        old_map = LeafMap(clock=clock, rows_per_block=32)
+        old_map.get_or_create("t").add_rows({"time": i} for i in range(50)) 
+        backup.sync_leafmap(old_map)
+        RestartEngine(
+            "v", namespace=shm_namespace, backup=backup, clock=clock,
+            layout_version=SHM_LAYOUT_VERSION,
+        ).backup_to_shm(old_map)
+        new_map = LeafMap(clock=clock, rows_per_block=32)
+        report = RestartEngine(
+            "v", namespace=shm_namespace, backup=backup, clock=clock,
+            layout_version=SHM_LAYOUT_VERSION + 5,
+        ).restore(new_map)
+        assert report.method is RecoveryMethod.DISK
+        assert new_map.get_table("t").row_count == 50
+
+    def test_schema_growth_across_restart(self, shm_namespace, tmp_path, clock):
+        """New columns appear after the upgrade: old blocks keep their
+        old schemas, new blocks carry the new column — 'different row
+        blocks may have different schemas' (§2.1)."""
+        backup = DiskBackup(tmp_path / "b")
+        old_map = LeafMap(clock=clock, rows_per_block=16)
+        old_map.get_or_create("t").add_rows({"time": i, "old": "x"} for i in range(16))
+        RestartEngine("s", namespace=shm_namespace, backup=backup, clock=clock).backup_to_shm(
+            old_map
+        )
+        new_map = LeafMap(clock=clock, rows_per_block=16)
+        RestartEngine("s", namespace=shm_namespace, backup=backup, clock=clock).restore(
+            new_map
+        )
+        table = new_map.get_table("t")
+        table.add_rows({"time": 100 + i, "old": "y", "brand_new": 1.5} for i in range(16))
+        rows = table.to_rows()
+        assert "brand_new" not in rows[0]  # old block, old schema
+        assert rows[-1]["brand_new"] == 1.5  # new block, new schema

@@ -1,0 +1,176 @@
+"""Tests for the Scribe stand-in and the tailer's routing."""
+
+import random
+
+import pytest
+
+from repro.disk.backup import DiskBackup
+from repro.errors import RoutingError
+from repro.ingest.scribe import ScribeLog
+from repro.ingest.tailer import Tailer
+from repro.server.leaf import LeafServer
+
+
+class TestScribe:
+    def test_append_read(self):
+        scribe = ScribeLog()
+        scribe.append("cat", [{"time": 1}, {"time": 2}])
+        rows, cursor = scribe.read("cat", 0)
+        assert [r["time"] for r in rows] == [1, 2]
+        assert cursor == 2
+
+    def test_cursor_resumes(self):
+        scribe = ScribeLog()
+        scribe.append("cat", [{"time": i} for i in range(5)])
+        rows, cursor = scribe.read("cat", 0, max_rows=2)
+        assert len(rows) == 2
+        rows, cursor = scribe.read("cat", cursor)
+        assert [r["time"] for r in rows] == [2, 3, 4]
+
+    def test_backlog(self):
+        scribe = ScribeLog()
+        scribe.append("cat", [{"time": i} for i in range(5)])
+        assert scribe.backlog("cat", 0) == 5
+        assert scribe.backlog("cat", 5) == 0
+        assert scribe.backlog("other", 0) == 0
+
+    def test_retention_trims_front(self):
+        scribe = ScribeLog(retention_per_category=3)
+        scribe.append("cat", [{"time": i} for i in range(5)])
+        rows, cursor = scribe.read("cat", 0)
+        assert [r["time"] for r in rows] == [2, 3, 4]
+        assert cursor == 5
+
+    def test_rows_are_isolated_copies(self):
+        scribe = ScribeLog()
+        row = {"time": 1}
+        scribe.append("cat", [row])
+        row["time"] = 99
+        got, _ = scribe.read("cat", 0)
+        got[0]["time"] = 77
+        assert scribe.read("cat", 0)[0][0]["time"] == 1
+
+    def test_bad_retention_rejected(self):
+        with pytest.raises(ValueError):
+            ScribeLog(retention_per_category=0)
+
+
+def make_leaves(shm_namespace, tmp_path, clock, n=4, capacity=1 << 20):
+    leaves = []
+    for index in range(n):
+        leaf = LeafServer(
+            str(index),
+            backup=DiskBackup(tmp_path / f"leaf-{index}"),
+            namespace=shm_namespace,
+            clock=clock,
+            rows_per_block=100,
+            capacity_bytes=capacity,
+        )
+        leaf.start()
+        leaves.append(leaf)
+    return leaves
+
+
+class TestTailerRouting:
+    def test_prefers_leaf_with_more_free_memory(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=2)
+        # Fill leaf 0 so leaf 1 always has more free memory.
+        leaves[0].add_rows("ballast", [{"time": i, "pad": "x" * 50} for i in range(500)])
+        scribe = ScribeLog()
+        tailer = Tailer(
+            scribe, "t", "t", leaves, batch_rows=10, rng=random.Random(1), clock=clock
+        )
+        for _ in range(20):
+            assert tailer.choose_leaf() is leaves[1]
+
+    def test_single_alive_leaf_gets_data(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=2)
+        leaves[0].crash()
+        scribe = ScribeLog()
+        tailer = Tailer(
+            scribe, "t", "t", leaves, batch_rows=10, rng=random.Random(2), clock=clock
+        )
+        assert tailer.choose_leaf() is leaves[1]
+
+    def test_no_leaf_at_all_raises(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=2)
+        for leaf in leaves:
+            leaf.crash()
+        tailer = Tailer(
+            ScribeLog(), "t", "t", leaves, batch_rows=10, rng=random.Random(3), clock=clock
+        )
+        with pytest.raises(RoutingError):
+            tailer.choose_leaf()
+
+    def test_recovering_leaf_is_last_resort(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=2)
+        for leaf in leaves:
+            leaf.crash()
+        # Pretend leaf 1 is in disk recovery: it accepts adds.
+        from repro.server.leaf import LeafStatus
+
+        leaves[1].status = LeafStatus.RECOVERING_DISK
+        tailer = Tailer(
+            ScribeLog(), "t", "t", leaves, batch_rows=10, rng=random.Random(4), clock=clock
+        )
+        assert tailer.choose_leaf() is leaves[1]
+        assert tailer.stats.sent_to_recovering == 1
+
+    def test_two_random_choices_balance_load(self, shm_namespace, tmp_path, clock):
+        """E10's unit-level shape: power-of-two-choices keeps the max/mean
+        rows-per-leaf ratio small."""
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=8)
+        scribe = ScribeLog()
+        tailer = Tailer(
+            scribe, "t", "t", leaves, batch_rows=50, rng=random.Random(5), clock=clock
+        )
+        scribe.append("t", [{"time": i, "pad": "y" * 30} for i in range(5000)])
+        delivered = tailer.drain()
+        assert delivered == 5000
+        per_leaf = [leaf.leafmap.row_count for leaf in leaves]
+        assert sum(per_leaf) == 5000
+        assert max(per_leaf) <= 2.0 * (sum(per_leaf) / len(per_leaf))
+
+
+class TestTailerPumping:
+    def test_batch_threshold_triggers_flush(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=2)
+        scribe = ScribeLog()
+        tailer = Tailer(
+            scribe, "t", "t", leaves, batch_rows=100, batch_seconds=1e9,
+            rng=random.Random(6), clock=clock,
+        )
+        scribe.append("t", [{"time": i} for i in range(99)])
+        assert tailer.pump_once() == 0  # below both thresholds
+        scribe.append("t", [{"time": 99}])
+        assert tailer.pump_once() == 100
+
+    def test_time_threshold_triggers_flush(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=2)
+        scribe = ScribeLog()
+        tailer = Tailer(
+            scribe, "t", "t", leaves, batch_rows=1000, batch_seconds=10.0,
+            rng=random.Random(7), clock=clock,
+        )
+        scribe.append("t", [{"time": 1}])
+        assert tailer.pump_once() == 0
+        clock.advance(11.0)
+        assert tailer.pump_once() == 1
+
+    def test_drain_moves_everything(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=3)
+        scribe = ScribeLog()
+        tailer = Tailer(
+            scribe, "t", "t", leaves, batch_rows=64, rng=random.Random(8), clock=clock
+        )
+        scribe.append("t", [{"time": i} for i in range(777)])
+        assert tailer.drain() == 777
+        assert tailer.backlog == 0
+        assert tailer.stats.rows_sent == 777
+
+    def test_validation(self, shm_namespace, tmp_path, clock):
+        leaves = make_leaves(shm_namespace, tmp_path, clock, n=1)
+        with pytest.raises(ValueError):
+            Tailer(ScribeLog(), "t", "t", leaves, batch_rows=0)
+        with pytest.raises(ValueError):
+            Tailer(ScribeLog(), "t", "t", [])

@@ -1,0 +1,208 @@
+"""Tests for the query engine: descriptions, execution, and merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore.leafmap import LeafMap
+from repro.errors import QueryError
+from repro.query.aggregate import AggState, merge_leaf_results
+from repro.query.execute import execute_on_leaf
+from repro.query.query import Aggregation, Filter, Query
+from repro.util.clock import ManualClock
+
+
+def make_map(rows=200):
+    leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=50)
+    table = leafmap.get_or_create("requests")
+    table.add_rows(
+        {
+            "time": 1000 + i,
+            "endpoint": f"/api/{i % 4}",
+            "latency": float(i % 100),
+            "status": 200 if i % 10 else 500,
+            "tags": ["prod"] + (["canary"] if i % 2 else []),
+        }
+        for i in range(rows)
+    )
+    return leafmap
+
+
+class TestQueryValidation:
+    def test_needs_table(self):
+        with pytest.raises(QueryError):
+            Query("")
+
+    def test_needs_aggregation(self):
+        with pytest.raises(QueryError):
+            Query("t", aggregations=())
+
+    def test_unknown_agg_func(self):
+        with pytest.raises(QueryError):
+            Aggregation("median", "x")
+
+    def test_non_count_needs_column(self):
+        with pytest.raises(QueryError):
+            Aggregation("sum")
+
+    def test_unknown_filter_op(self):
+        with pytest.raises(QueryError):
+            Filter("x", "like", "%y%")
+
+    def test_bad_limit(self):
+        with pytest.raises(QueryError):
+            Query("t", limit=0)
+
+
+class TestFilters:
+    def test_comparison_ops(self):
+        row = {"v": 5}
+        assert Filter("v", "eq", 5).matches(row)
+        assert Filter("v", "ne", 4).matches(row)
+        assert Filter("v", "lt", 6).matches(row)
+        assert Filter("v", "le", 5).matches(row)
+        assert Filter("v", "gt", 4).matches(row)
+        assert Filter("v", "ge", 5).matches(row)
+        assert not Filter("v", "eq", 6).matches(row)
+
+    def test_in_and_contains(self):
+        row = {"host": "a", "tags": ["x", "y"]}
+        assert Filter("host", "in", ("a", "b")).matches(row)
+        assert Filter("tags", "contains", "y").matches(row)
+        assert not Filter("tags", "contains", "z").matches(row)
+
+    def test_missing_column_never_matches(self):
+        assert not Filter("ghost", "eq", 1).matches({"v": 1})
+
+    def test_contains_on_scalar_raises(self):
+        with pytest.raises(QueryError):
+            Filter("v", "contains", "x").matches({"v": 5})
+
+
+class TestExecution:
+    def test_count_all(self):
+        execution = execute_on_leaf(make_map(), Query("requests"))
+        assert execution.partial[()][0].finalize() == 200
+
+    def test_missing_table_contributes_empty(self):
+        execution = execute_on_leaf(make_map(), Query("nope"))
+        assert execution.partial == {}
+
+    def test_group_by_and_filters(self):
+        query = Query(
+            "requests",
+            aggregations=(Aggregation("count"), Aggregation("avg", "latency")),
+            group_by=("endpoint",),
+            filters=(Filter("status", "eq", 200),),
+        )
+        execution = execute_on_leaf(make_map(), query)
+        assert len(execution.partial) == 4
+        total = sum(states[0].finalize() for states in execution.partial.values())
+        assert total == 180  # 10% are 500s
+
+    def test_time_pruning_counts_blocks(self):
+        query = Query("requests", start_time=1100, end_time=1150)
+        execution = execute_on_leaf(make_map(), query)
+        assert execution.blocks_pruned == 3  # of 4 blocks
+        assert execution.rows_scanned == 50
+
+    def test_agg_of_missing_column_yields_none(self):
+        query = Query("requests", aggregations=(Aggregation("sum", "ghost"),))
+        execution = execute_on_leaf(make_map(), query)
+        result = merge_leaf_results(query, [execution.partial], 1)
+        assert result.rows[0].values["sum(ghost)"] is None
+
+    def test_non_numeric_aggregation_raises(self):
+        query = Query("requests", aggregations=(Aggregation("sum", "endpoint"),))
+        with pytest.raises(QueryError):
+            execute_on_leaf(make_map(), query)
+
+
+class TestAggStates:
+    def test_percentile_nearest_rank(self):
+        state = AggState("p50")
+        for value in (1, 2, 3, 4, 5):
+            state.update(value)
+        assert state.finalize() == 3
+
+    def test_p99_on_small_sample(self):
+        state = AggState("p99")
+        for value in range(10):
+            state.update(value)
+        assert state.finalize() == 9
+
+    def test_empty_numeric_state_finalizes_none(self):
+        for func in ("sum", "avg", "min", "max", "p50"):
+            assert AggState(func).finalize() is None
+
+    def test_merge_mismatched_funcs_rejected(self):
+        a, b = AggState("sum"), AggState("avg")
+        with pytest.raises(QueryError):
+            a.merge(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_merged_states_equal_single_pass_property(self, values, n_parts):
+        """Invariant: splitting rows among leaves and merging partial
+        states gives the same aggregates as one leaf seeing all rows."""
+        funcs = ("count", "sum", "avg", "min", "max", "p50", "p95")
+        whole = [AggState(f) for f in funcs]
+        for value in values:
+            for state in whole:
+                state.update(value if state.func != "count" else None)
+        parts = [[AggState(f) for f in funcs] for _ in range(n_parts)]
+        for index, value in enumerate(values):
+            for state in parts[index % n_parts]:
+                state.update(value if state.func != "count" else None)
+        merged = [AggState(f) for f in funcs]
+        for part in parts:
+            for target, incoming in zip(merged, part):
+                target.merge(incoming)
+        for func, lhs, rhs in zip(funcs, whole, merged):
+            a, b = lhs.finalize(), rhs.finalize()
+            if isinstance(a, float):
+                assert b == pytest.approx(a, rel=1e-9, abs=1e-9), func
+            else:
+                assert a == b, func
+
+
+class TestMerge:
+    def test_partial_coverage_recorded(self):
+        query = Query("requests")
+        execution = execute_on_leaf(make_map(), query)
+        result = merge_leaf_results(query, [execution.partial], leaves_total=4)
+        assert result.leaves_responded == 1
+        assert result.coverage == 0.25
+
+    def test_groups_merge_across_leaves(self):
+        query = Query("requests", group_by=("endpoint",))
+        e1 = execute_on_leaf(make_map(100), query)
+        e2 = execute_on_leaf(make_map(100), query)
+        result = merge_leaf_results(query, [e1.partial, e2.partial], 2)
+        total = sum(r.values["count(*)"] for r in result.rows)
+        assert total == 200
+
+    def test_limit_applies_after_sort(self):
+        query = Query("requests", group_by=("endpoint",), limit=2)
+        execution = execute_on_leaf(make_map(), query)
+        result = merge_leaf_results(query, [execution.partial], 1)
+        assert len(result.rows) == 2
+        assert result.rows[0].group == ("/api/0",)
+
+    def test_row_for_lookup(self):
+        query = Query("requests", group_by=("endpoint",))
+        execution = execute_on_leaf(make_map(), query)
+        result = merge_leaf_results(query, [execution.partial], 1)
+        assert result.row_for("/api/1").values["count(*)"] == 50
+        with pytest.raises(KeyError):
+            result.row_for("/api/9")
+
+    def test_merge_does_not_mutate_partials(self):
+        query = Query("requests")
+        execution = execute_on_leaf(make_map(100), query)
+        before = execution.partial[()][0].count
+        merge_leaf_results(query, [execution.partial, execution.partial], 2)
+        assert execution.partial[()][0].count == before

@@ -1,0 +1,165 @@
+"""Tests for the leaf server lifecycle and data plane."""
+
+import pytest
+
+from repro.core.engine import RecoveryMethod
+from repro.disk.backup import DiskBackup
+from repro.errors import StateError
+from repro.query.query import Aggregation, Query
+from repro.server.leaf import LeafServer, LeafStatus
+
+
+def make_leaf(shm_namespace, tmp_path, clock, leaf_id="0", **kwargs):
+    return LeafServer(
+        leaf_id,
+        backup=DiskBackup(tmp_path / f"leaf-{leaf_id}"),
+        namespace=shm_namespace,
+        clock=clock,
+        rows_per_block=50,
+        **kwargs,
+    )
+
+
+ROWS = [{"time": 1000 + i, "host": f"h{i % 3}", "v": float(i)} for i in range(120)]
+
+
+class TestLifecycle:
+    def test_first_boot_is_empty_disk_recovery(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        report = leaf.start()
+        assert report.method is RecoveryMethod.DISK
+        assert leaf.status is LeafStatus.ALIVE
+        assert leaf.leafmap.row_count == 0
+
+    def test_cannot_start_twice(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        with pytest.raises(StateError):
+            leaf.start()
+
+    def test_shm_restart_cycle(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS)
+        report = leaf.shutdown(use_shm=True)
+        assert report is not None and report.rows == 120
+        assert leaf.status is LeafStatus.DOWN
+
+        reborn = make_leaf(shm_namespace, tmp_path, clock)
+        report = reborn.start()
+        assert report.method is RecoveryMethod.SHARED_MEMORY
+        assert reborn.leafmap.row_count == 120
+
+    def test_disk_only_shutdown_recovers_from_disk(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS)
+        assert leaf.shutdown(use_shm=False) is None
+        reborn = make_leaf(shm_namespace, tmp_path, clock)
+        assert reborn.start().method is RecoveryMethod.DISK
+        assert reborn.leafmap.row_count == 120
+
+    def test_crash_loses_unsynced_rows(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS[:100])
+        leaf.sync_to_disk()
+        leaf.add_rows("events", ROWS[100:])  # never synced
+        leaf.crash()
+        assert leaf.status is LeafStatus.DOWN
+        reborn = make_leaf(shm_namespace, tmp_path, clock)
+        report = reborn.start()
+        assert report.method is RecoveryMethod.DISK
+        assert reborn.leafmap.row_count == 100  # the tail is gone
+
+    def test_shutdown_requires_alive(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        with pytest.raises(StateError):
+            leaf.shutdown()
+
+    def test_memory_recovery_can_be_disabled(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS)
+        leaf.shutdown(use_shm=True)
+        reborn = make_leaf(shm_namespace, tmp_path, clock)
+        report = reborn.start(memory_recovery_enabled=False)
+        assert report.method is RecoveryMethod.DISK
+        assert reborn.leafmap.row_count == 120
+        reborn.engine.discard_shm()  # stale-but-valid segments remain
+
+
+class TestDataPlane:
+    def test_add_and_query(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS)
+        execution = leaf.query(Query("events", aggregations=(Aggregation("count"),)))
+        assert execution.partial[()][0].finalize() == 120
+
+    def test_down_leaf_rejects_everything(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        with pytest.raises(StateError):
+            leaf.add_rows("events", ROWS)
+        with pytest.raises(StateError):
+            leaf.query(Query("events"))
+
+    def test_free_memory_reporting(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock, capacity_bytes=1 << 20)
+        leaf.start()
+        before = leaf.free_memory
+        assert before == 1 << 20
+        leaf.add_rows("events", ROWS)
+        assert leaf.free_memory < before
+        assert leaf.free_memory + leaf.used_bytes == 1 << 20
+
+    def test_expire_ages_out_rows(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS)  # times 1000..1119
+        leaf.leafmap.seal_all()
+        clock.set(1_390_000_000.0)  # now
+        dropped = leaf.expire(retention_seconds=int(clock.now()) - 1050)
+        assert dropped == 50
+        assert leaf.leafmap.row_count == 70
+        # Expiry survives a disk recovery (watermark recorded).
+        leaf.sync_to_disk()
+        leaf.shutdown(use_shm=False)
+        reborn = make_leaf(shm_namespace, tmp_path, clock)
+        reborn.start()
+        assert reborn.leafmap.row_count == 70
+
+    def test_expire_requires_alive(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        with pytest.raises(StateError):
+            leaf.expire(10)
+
+    def test_repr_mentions_status(self, shm_namespace, tmp_path, clock):
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        assert "init" in repr(leaf)
+
+
+class TestRestartEquivalence:
+    def test_query_results_identical_across_shm_restart(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """Invariant 3, at server level: the same query gives the same
+        answer before and after a shared memory restart."""
+        query = Query(
+            "events",
+            aggregations=(Aggregation("count"), Aggregation("avg", "v")),
+            group_by=("host",),
+        )
+        leaf = make_leaf(shm_namespace, tmp_path, clock)
+        leaf.start()
+        leaf.add_rows("events", ROWS)
+        from repro.query.aggregate import merge_leaf_results
+
+        before = merge_leaf_results(query, [leaf.query(query).partial], 1)
+        leaf.shutdown(use_shm=True)
+        reborn = make_leaf(shm_namespace, tmp_path, clock)
+        reborn.start()
+        after = merge_leaf_results(query, [reborn.query(query).partial], 1)
+        assert [(r.group, r.values) for r in before.rows] == [
+            (r.group, r.values) for r in after.rows
+        ]

@@ -1,0 +1,112 @@
+"""Tests for the rejected-alternative shared memory allocator (E11)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.shm.allocator import ShmAllocator
+
+
+class TestAllocFree:
+    def test_simple_alloc(self):
+        arena = ShmAllocator(1024)
+        offset = arena.alloc(100)
+        assert offset == 0
+        assert arena.allocated_bytes == 104  # rounded to 8
+
+    def test_alignment(self):
+        arena = ShmAllocator(1024)
+        arena.alloc(3)
+        assert arena.alloc(3) == 8
+
+    def test_exhaustion(self):
+        arena = ShmAllocator(64)
+        arena.alloc(64)
+        with pytest.raises(AllocationError):
+            arena.alloc(1)
+
+    def test_free_and_reuse(self):
+        arena = ShmAllocator(64)
+        a = arena.alloc(32)
+        arena.alloc(32)
+        arena.free(a)
+        assert arena.alloc(32) == a
+
+    def test_double_free_rejected(self):
+        arena = ShmAllocator(64)
+        a = arena.alloc(8)
+        arena.free(a)
+        with pytest.raises(AllocationError):
+            arena.free(a)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            ShmAllocator(64).free(0)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ShmAllocator(0)
+        arena = ShmAllocator(64)
+        with pytest.raises(ValueError):
+            arena.alloc(0)
+
+    def test_coalescing_restores_one_hole(self):
+        arena = ShmAllocator(96)
+        a = arena.alloc(32)
+        b = arena.alloc(32)
+        c = arena.alloc(32)
+        arena.free(a)
+        arena.free(c)
+        arena.free(b)  # merges with both neighbours
+        stats = arena.stats()
+        assert stats.free_block_count == 1
+        assert stats.largest_free_block == 96
+
+
+class TestFragmentation:
+    def test_fragmentation_blocks_large_request(self):
+        """Total free space is sufficient but no hole is big enough —
+        the failure mode the paper rejected this design over."""
+        arena = ShmAllocator(1000)
+        offsets = [arena.alloc(96) for _ in range(10)]
+        for offset in offsets[::2]:
+            arena.free(offset)  # free every other block: 5 x 96 free
+        stats = arena.stats()
+        assert stats.free_bytes >= 480
+        assert stats.largest_free_block < 200
+        with pytest.raises(AllocationError):
+            arena.alloc(300)
+        assert stats.fragmentation > 0.5
+
+    def test_stats_consistency(self):
+        arena = ShmAllocator(512)
+        arena.alloc(100)
+        stats = arena.stats()
+        assert stats.allocated_bytes + stats.free_bytes == stats.capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_churn_never_corrupts_accounting(self, seed):
+        """Property: under random alloc/free churn, allocated+free ==
+        capacity and no two live blocks overlap."""
+        rng = random.Random(seed)
+        arena = ShmAllocator(4096)
+        live: list[int] = []
+        for _ in range(100):
+            if live and rng.random() < 0.45:
+                arena.free(live.pop(rng.randrange(len(live))))
+            else:
+                try:
+                    live.append(arena.alloc(rng.randrange(1, 300)))
+                except AllocationError:
+                    if live:
+                        arena.free(live.pop(0))
+            stats = arena.stats()
+            assert stats.allocated_bytes + stats.free_bytes == 4096
+        # No overlaps among live allocations.
+        spans = sorted((off, arena._allocated[off]) for off in live)
+        for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+            assert o1 + s1 <= o2

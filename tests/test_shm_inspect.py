@@ -1,0 +1,88 @@
+"""Tests for the shared memory inspection tooling."""
+
+from repro.core.engine import RestartEngine
+from repro.shm.inspect import format_leaf_info, inspect_leaf
+from repro.shm.metadata import LeafMetadata
+from repro.shm.segment import ShmSegment
+
+from tests.conftest import make_leafmap
+
+
+class TestInspect:
+    def test_no_state(self, shm_namespace):
+        info = inspect_leaf(shm_namespace, "0")
+        assert not info.metadata_exists
+        assert not info.recoverable
+        assert "no shared memory state" in format_leaf_info(info)
+
+    def test_valid_state_is_recoverable(self, shm_namespace, clock):
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        leafmap = make_leafmap(clock, tables=("events", "errors"))
+        engine.backup_to_shm(leafmap)
+        info = inspect_leaf(shm_namespace, "0")
+        assert info.metadata_exists and info.valid
+        assert info.recoverable
+        assert len(info.tables) == 2
+        assert all(t.exists and t.row_blocks > 0 for t in info.tables)
+        assert info.total_bytes > 0
+        report = format_leaf_info(info)
+        assert "valid bit: SET" in report
+        assert "recoverable: yes" in report
+        engine.discard_shm()
+
+    def test_invalid_bit_not_recoverable(self, shm_namespace, clock):
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        engine.backup_to_shm(make_leafmap(clock))
+        meta = LeafMetadata.attach(shm_namespace, "0")
+        meta.set_valid(False)
+        meta.close()
+        info = inspect_leaf(shm_namespace, "0")
+        assert info.metadata_exists and not info.valid
+        assert not info.recoverable
+        assert "valid bit: clear" in format_leaf_info(info)
+        engine.discard_shm()
+
+    def test_missing_table_segment_reported(self, shm_namespace, clock):
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        engine.backup_to_shm(make_leafmap(clock))
+        meta = LeafMetadata.attach(shm_namespace, "0")
+        victim = meta.records[0].segment_name
+        meta.close()
+        ShmSegment.attach(victim).unlink()
+        info = inspect_leaf(shm_namespace, "0")
+        assert not info.recoverable
+        assert info.tables[0].error == "segment missing"
+        assert "ERROR" in format_leaf_info(info)
+        engine.discard_shm()
+
+    def test_corrupted_segment_reported(self, shm_namespace, clock):
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        engine.backup_to_shm(make_leafmap(clock))
+        meta = LeafMetadata.attach(shm_namespace, "0")
+        victim = meta.records[0].segment_name
+        meta.close()
+        segment = ShmSegment.attach(victim)
+        segment.write_at(0, b"\xff\xff\xff\xff")
+        segment.close()
+        info = inspect_leaf(shm_namespace, "0")
+        assert not info.recoverable
+        assert info.tables[0].error and "CorruptionError" in info.tables[0].error
+        engine.discard_shm()
+
+    def test_inspection_is_nondestructive(self, shm_namespace, clock):
+        from repro.columnstore.leafmap import LeafMap
+        from repro.core.engine import RecoveryMethod
+
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        leafmap = make_leafmap(clock)
+        leafmap.seal_all()
+        snapshot = leafmap.snapshot_rows()
+        engine.backup_to_shm(leafmap)
+        inspect_leaf(shm_namespace, "0")
+        inspect_leaf(shm_namespace, "0")
+        restored = LeafMap(clock=clock, rows_per_block=50)
+        report = RestartEngine("0", namespace=shm_namespace, clock=clock).restore(
+            restored
+        )
+        assert report.method is RecoveryMethod.SHARED_MEMORY
+        assert restored.snapshot_rows() == snapshot

@@ -1,0 +1,148 @@
+"""Tests for the contiguous table segment layout (paper, Figure 4)."""
+
+import pytest
+
+from repro.columnstore.rowblock import RowBlock
+from repro.errors import CorruptionError, LayoutVersionError, ShmError
+from repro.shm.layout import (
+    TableSegmentWriter,
+    packed_block_size,
+    read_segment_header,
+    read_table_from_segment,
+    table_segment_size,
+    write_table_to_segment,
+)
+from repro.shm.segment import ShmSegment
+
+
+def make_blocks(n_blocks=3, rows=20):
+    blocks = []
+    for b in range(n_blocks):
+        rows_data = [
+            {"time": b * 1000 + i, "host": f"h{i % 3}", "v": float(i)}
+            for i in range(rows)
+        ]
+        blocks.append(RowBlock.from_rows(rows_data, created_at=float(b)))
+    return blocks
+
+
+class TestSizes:
+    def test_packed_block_size_is_exact(self):
+        block = make_blocks(1)[0]
+        assert packed_block_size(block) == len(block.pack())
+
+    def test_table_segment_size_is_exact(self, shm_namespace):
+        blocks = make_blocks()
+        size = table_segment_size("events", blocks)
+        segment = ShmSegment.create(f"{shm_namespace}-s", size)
+        try:
+            used = write_table_to_segment(segment, "events", blocks)
+            assert used == size
+        finally:
+            segment.unlink()
+
+
+class TestWriteRead:
+    def test_roundtrip(self, shm_namespace):
+        blocks = make_blocks()
+        size = table_segment_size("events", blocks)
+        segment = ShmSegment.create(f"{shm_namespace}-a", size + 100)  # slack ok
+        try:
+            used = write_table_to_segment(segment, "events", blocks)
+            name, recovered = read_table_from_segment(segment, used)
+            assert name == "events"
+            assert [b.to_rows() for b in recovered] == [b.to_rows() for b in blocks]
+        finally:
+            segment.unlink()
+
+    def test_empty_table(self, shm_namespace):
+        size = table_segment_size("empty", [])
+        segment = ShmSegment.create(f"{shm_namespace}-b", max(size, 1))
+        try:
+            used = write_table_to_segment(segment, "empty", [])
+            name, recovered = read_table_from_segment(segment, used)
+            assert name == "empty" and recovered == []
+        finally:
+            segment.unlink()
+
+    def test_streamed_copy_yields_one_event_per_rbc(self, shm_namespace):
+        blocks = make_blocks(2, rows=10)
+        n_columns = len(blocks[0].schema)
+        segment = ShmSegment.create(
+            f"{shm_namespace}-c", table_segment_size("t", blocks)
+        )
+        try:
+            writer = TableSegmentWriter(segment, "t", blocks)
+            events = list(writer.copy_events())
+            assert len(events) == 2 * n_columns
+            assert sum(1 for e in events if e.last_in_block) == 2
+            assert {e.block_index for e in events} == {0, 1}
+        finally:
+            segment.unlink()
+
+    def test_too_small_segment_fails_before_any_copy(self, shm_namespace):
+        blocks = make_blocks(1)
+        segment = ShmSegment.create(f"{shm_namespace}-d", 32)
+        try:
+            writer = TableSegmentWriter(segment, "t", blocks)
+            with pytest.raises(ShmError):
+                next(writer.copy_events())
+            # Nothing was copied; the blocks remain intact in heap.
+            blocks[0].verify()
+        finally:
+            segment.unlink()
+
+
+class TestHeaderValidation:
+    def _segment_with_table(self, shm_namespace, suffix="v"):
+        blocks = make_blocks(1)
+        size = table_segment_size("t", blocks)
+        segment = ShmSegment.create(f"{shm_namespace}-{suffix}", size)
+        write_table_to_segment(segment, "t", blocks)
+        return segment
+
+    def test_bad_magic(self, shm_namespace):
+        segment = self._segment_with_table(shm_namespace)
+        try:
+            corrupted = bytearray(bytes(segment.buf))
+            corrupted[0] ^= 0xFF
+            with pytest.raises(CorruptionError):
+                read_segment_header(memoryview(corrupted))
+        finally:
+            segment.unlink()
+
+    def test_version_mismatch(self, shm_namespace):
+        segment = self._segment_with_table(shm_namespace, "w")
+        try:
+            corrupted = bytearray(bytes(segment.buf))
+            corrupted[4] = 200
+            with pytest.raises(LayoutVersionError):
+                read_segment_header(memoryview(corrupted))
+        finally:
+            segment.unlink()
+
+    def test_used_bytes_bound(self, shm_namespace):
+        segment = self._segment_with_table(shm_namespace, "x")
+        try:
+            corrupted = bytearray(bytes(segment.buf))
+            corrupted[8:16] = (2**40).to_bytes(8, "little")
+            with pytest.raises(CorruptionError):
+                read_segment_header(memoryview(corrupted))
+        finally:
+            segment.unlink()
+
+    def test_block_extent_bound(self, shm_namespace):
+        segment = self._segment_with_table(shm_namespace, "y")
+        try:
+            view = memoryview(bytes(segment.buf))
+            name, pairs = read_segment_header(view)
+            assert name == "t" and len(pairs) == 1
+            # Corrupt the first block offset to point past the end.
+            corrupted = bytearray(view)
+            header_len = len(bytes(view)) - pairs[0][1]
+            offset_pos = header_len - 16  # offset entry precedes size entry
+            corrupted[offset_pos : offset_pos + 8] = (2**30).to_bytes(8, "little")
+            with pytest.raises(CorruptionError):
+                read_segment_header(memoryview(corrupted))
+        finally:
+            segment.unlink()

@@ -1,0 +1,142 @@
+"""Tests for varints, zigzag, and the buffer reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.binary import (
+    BufferReader,
+    BufferWriter,
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestVarint:
+    def test_zero_is_one_byte(self):
+        assert encode_varint(0) == b"\x00"
+
+    def test_small_values_are_one_byte(self):
+        assert encode_varint(127) == b"\x7f"
+
+    def test_128_needs_two_bytes(self):
+        assert encode_varint(128) == b"\x80\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_roundtrip_known_values(self):
+        for value in (0, 1, 127, 128, 300, 2**32, 2**63 - 1):
+            decoded, offset = decode_varint(encode_varint(value))
+            assert decoded == value
+            assert offset == len(encode_varint(value))
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\xff" * 11)
+
+    def test_decode_at_offset(self):
+        buf = b"\xaa" + encode_varint(300)
+        value, offset = decode_varint(buf, 1)
+        assert value == 300
+        assert offset == len(buf)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        assert decode_varint(encode_varint(value))[0] == value
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip_property(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        assert zigzag_encode(-5) < 16
+        assert zigzag_encode(5) < 16
+
+
+class TestBufferWriter:
+    def test_offset_tracks_bytes(self):
+        writer = BufferWriter()
+        writer.write_u32(7)
+        assert writer.offset == 4
+        writer.write_str("ab")
+        assert writer.offset == 7  # varint(2) + 2 bytes
+
+    def test_patching(self):
+        writer = BufferWriter()
+        slot = writer.reserve_u64()
+        writer.write_bytes(b"xyz")
+        writer.patch_u64(slot, 42)
+        reader = BufferReader(writer.getvalue())
+        assert reader.read_u64() == 42
+        assert reader.read_bytes(3) == b"xyz"
+
+    def test_all_scalar_types_roundtrip(self):
+        writer = BufferWriter()
+        writer.write_u8(255)
+        writer.write_u16(65535)
+        writer.write_u32(2**32 - 1)
+        writer.write_u64(2**64 - 1)
+        writer.write_i64(-(2**63))
+        writer.write_f64(3.5)
+        reader = BufferReader(writer.getvalue())
+        assert reader.read_u8() == 255
+        assert reader.read_u16() == 65535
+        assert reader.read_u32() == 2**32 - 1
+        assert reader.read_u64() == 2**64 - 1
+        assert reader.read_i64() == -(2**63)
+        assert reader.read_f64() == 3.5
+        assert reader.remaining == 0
+
+
+class TestBufferReader:
+    def test_read_past_end_raises(self):
+        reader = BufferReader(b"ab")
+        with pytest.raises(CorruptionError):
+            reader.read_u32()
+
+    def test_seek_bounds(self):
+        reader = BufferReader(b"abcd")
+        reader.seek(4)
+        assert reader.remaining == 0
+        with pytest.raises(CorruptionError):
+            reader.seek(5)
+        with pytest.raises(CorruptionError):
+            reader.seek(-1)
+
+    def test_len_prefixed_roundtrip(self):
+        writer = BufferWriter()
+        writer.write_len_prefixed(b"hello")
+        assert BufferReader(writer.getvalue()).read_len_prefixed() == b"hello"
+
+    def test_invalid_utf8_raises_corruption(self):
+        writer = BufferWriter()
+        writer.write_len_prefixed(b"\xff\xfe")
+        with pytest.raises(CorruptionError):
+            BufferReader(writer.getvalue()).read_str()
+
+    def test_read_view_is_zero_copy(self):
+        buf = bytearray(b"abcdef")
+        reader = BufferReader(buf)
+        view = reader.read_view(3)
+        buf[0] = ord("z")
+        assert bytes(view) == b"zbc"
+
+    @given(st.text(max_size=200))
+    def test_string_roundtrip_property(self, text):
+        writer = BufferWriter()
+        writer.write_str(text)
+        assert BufferReader(writer.getvalue()).read_str() == text

@@ -1,0 +1,71 @@
+"""Tests for bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.bits import pack_uints, required_bit_width, unpack_uints
+
+
+class TestRequiredBitWidth:
+    def test_zero_needs_one_bit(self):
+        assert required_bit_width(0) == 1
+
+    def test_powers_of_two(self):
+        assert required_bit_width(1) == 1
+        assert required_bit_width(2) == 2
+        assert required_bit_width(255) == 8
+        assert required_bit_width(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            required_bit_width(-1)
+
+
+class TestPackUnpack:
+    def test_empty(self):
+        assert pack_uints(np.array([], dtype=np.uint64), 5) == b""
+        assert unpack_uints(b"", 5, 0).size == 0
+
+    def test_one_bit_values(self):
+        values = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1], dtype=np.uint64)
+        packed = pack_uints(values, 1)
+        assert len(packed) == 2  # 9 bits -> 2 bytes
+        assert unpack_uints(packed, 1, 9).tolist() == values.tolist()
+
+    def test_dense_packing_size(self):
+        values = np.arange(100, dtype=np.uint64)
+        width = required_bit_width(99)  # 7
+        packed = pack_uints(values, width)
+        assert len(packed) == (100 * 7 + 7) // 8
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            pack_uints(np.array([8], dtype=np.uint64), 3)
+
+    def test_full_64_bit(self):
+        values = np.array([2**64 - 1, 0, 2**63], dtype=np.uint64)
+        packed = pack_uints(values, 64)
+        assert unpack_uints(packed, 64, 3).tolist() == values.tolist()
+
+    def test_bad_width_rejected(self):
+        for width in (0, 65):
+            with pytest.raises(ValueError):
+                pack_uints(np.array([0], dtype=np.uint64), width)
+            with pytest.raises(ValueError):
+                unpack_uints(b"\x00" * 100, width, 1)
+
+    def test_short_payload_raises_corruption(self):
+        with pytest.raises(CorruptionError):
+            unpack_uints(b"\x00", 8, 5)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**40 - 1), max_size=200),
+    )
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        width = required_bit_width(int(arr.max()) if values else 0)
+        packed = pack_uints(arr, width)
+        assert unpack_uints(packed, width, len(values)).tolist() == values

@@ -1,0 +1,66 @@
+"""Tests for the synthetic workload generators and scenarios."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.columnstore.schema import Schema
+from repro.workloads import (
+    SCENARIOS,
+    ads_revenue,
+    code_regressions,
+    error_logs,
+    populate_cluster,
+    service_requests,
+)
+
+GENERATORS = [service_requests, error_logs, ads_revenue, code_regressions]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestGenerators:
+    def test_row_count(self, generator):
+        assert len(list(generator(123))) == 123
+
+    def test_deterministic_for_seed(self, generator):
+        assert list(generator(50, seed=5)) == list(generator(50, seed=5))
+
+    def test_different_seeds_differ(self, generator):
+        assert list(generator(50, seed=1)) != list(generator(50, seed=2))
+
+    def test_time_is_nearly_sorted(self, generator):
+        times = [row["time"] for row in generator(500)]
+        assert times == sorted(times)
+        assert times[0] >= 1_390_000_000
+
+    def test_rows_have_consistent_schema(self, generator):
+        rows = list(generator(200))
+        Schema.from_rows(rows)  # raises on type conflicts
+
+
+class TestScenarios:
+    def test_all_scenarios_declared(self):
+        assert set(SCENARIOS) == {"requests", "errors", "ads", "regressions"}
+
+    def test_queries_target_their_tables(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.query.table == scenario.table
+
+    def test_populate_cluster_runs_every_scenario(self, shm_namespace, tmp_path, clock):
+        cluster = Cluster(
+            2,
+            tmp_path / "c",
+            leaves_per_machine=2,
+            namespace=shm_namespace,
+            clock=clock,
+            rows_per_block=128,
+            rng=random.Random(3),
+        )
+        cluster.start_all()
+        total = populate_cluster(cluster, rows_per_scenario=300)
+        assert total == 1200
+        for scenario in SCENARIOS.values():
+            result = cluster.query(scenario.query)
+            assert result.rows, scenario.name
+            assert result.coverage == 1.0
