@@ -79,6 +79,8 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
     from repro.workloads import service_requests
 
     namespace = f"reprocli-{uuid.uuid4().hex[:8]}"
+    if args.workers is not None:
+        return _bench_parallel_restart(args, namespace)
     with tempfile.TemporaryDirectory() as tmp:
         backup = DiskBackup(tmp)
         leafmap = LeafMap(rows_per_block=4096)
@@ -108,6 +110,60 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
         disk_restore = time.perf_counter() - started
         print(f"restore from disk: {disk_restore * 1000:.1f} ms")
         print(f"shared memory was {disk_restore / max(shm_restore, 1e-9):.0f}x faster")
+    return 0
+
+
+def _bench_parallel_restart(args: argparse.Namespace, namespace: str) -> int:
+    """``bench-restart --workers N``: a whole machine restarting in
+    parallel (experiment E15), plus the simulator's prediction."""
+    import tempfile
+
+    from repro.server.machine import Machine
+    from repro.workloads import service_requests
+
+    leaves = max(1, args.leaves)
+    workers = max(1, args.workers)
+    with tempfile.TemporaryDirectory() as tmp:
+        machine = Machine(
+            "cli",
+            backup_root=tmp,
+            leaves_per_machine=leaves,
+            namespace=namespace,
+            rows_per_block=4096,
+            shared_tracker=True,
+        )
+        machine.start_all()
+        rows_per_leaf = max(1, args.rows // leaves)
+        for leaf in machine.leaves:
+            leaf.add_rows("service_requests", service_requests(rows_per_leaf))
+            leaf.leafmap.seal_all()  # measure compressed, not buffered, size
+        data_bytes = machine.nbytes
+        print(
+            f"{leaves} leaves x {rows_per_leaf:,} rows, "
+            f"{data_bytes / 1e6:.2f} MB compressed, {workers} workers"
+        )
+        budget = int(args.budget_mb * 1_000_000) if args.budget_mb else None
+        report = machine.restart_all(workers=workers, budget_bytes=budget)
+        failures = report.failures
+        print(f"parallel shutdown: {report.shutdown_seconds * 1000:.1f} ms")
+        print(f"parallel restore:  {report.restore_seconds * 1000:.1f} ms")
+        if budget:
+            print(
+                f"peak in-flight:    {report.peak_in_flight_bytes / 1e6:.2f} MB "
+                f"(budget {args.budget_mb} MB)"
+            )
+        if machine.tracker is not None:
+            print(f"peak footprint:    {machine.tracker.peak_total / 1e6:.2f} MB")
+        profile = paper_profile()
+        print(
+            f"simulator: {workers}-wide restore of a paper-scale machine is "
+            f"{profile.parallel_restore_speedup(workers):.1f}x sequential "
+            f"(ceiling {profile.mem_total_gbps / profile.mem_copy_gbps:.0f}x)"
+        )
+        if failures:
+            for outcome in failures:
+                print(f"leaf {outcome.leaf_id} FAILED: {outcome.error}")
+            return 1
     return 0
 
 
@@ -146,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench-restart", help="real scaled disk-vs-shm restart")
     p.add_argument("--rows", type=int, default=20_000)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="restart a whole machine's leaves N at a time "
+                   "(default: single-leaf disk-vs-shm comparison)")
+    p.add_argument("--leaves", type=int, default=4,
+                   help="leaves on the machine for --workers mode")
+    p.add_argument("--budget-mb", type=float, default=None,
+                   help="machine-wide in-flight copy budget for --workers mode")
     p.set_defaults(func=cmd_bench_restart)
 
     sub.add_parser(

@@ -15,6 +15,7 @@ queries throughout.
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -133,6 +134,7 @@ class ProcessDeployment:
         batch_fraction: float = 0.02,
         use_shm: bool = True,
         shutdown_deadline: float = DEFAULT_SHUTDOWN_DEADLINE_SECONDS,
+        workers: int = 1,
     ) -> ProcessRolloverResult:
         """Upgrade every leaf process to ``new_version``.
 
@@ -140,9 +142,17 @@ class ProcessDeployment:
         version, and confirm the recovery method.  A killed leaf (copy
         overran the deadline) comes back via disk — the result counts
         both paths.
+
+        ``workers`` > 1 drives each batch's shutdowns — and then its
+        respawns — concurrently; since the leaves are separate OS
+        processes, that parallelism is real even from a single deploy
+        script.  Batches still run one after another, which is what
+        keeps most of the fleet serving.
         """
         if not 0 < batch_fraction <= 1:
             raise ValueError("batch fraction must be in (0, 1]")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         batch_size = max(1, math.ceil(len(self.leaves) * batch_fraction))
         result = ProcessRolloverResult(new_version=new_version)
         start = self.clock.now()
@@ -150,21 +160,32 @@ class ProcessDeployment:
         pending = [
             leaf for leaf in self.leaves if leaf.config.version != new_version
         ]
+
+        def shut_one(leaf: LeafProcess) -> bool:
+            return leaf.shutdown(use_shm=use_shm, deadline_seconds=shutdown_deadline)
+
+        def spawn_one(leaf: LeafProcess) -> dict:
+            leaf.config.version = new_version
+            return leaf.spawn()
+
+        def run(fn, batch: list[LeafProcess]) -> list:
+            # Fan out over the batch, collect in batch order; counters
+            # are aggregated by the caller, never from worker threads.
+            if workers == 1 or len(batch) == 1:
+                return [fn(leaf) for leaf in batch]
+            with ThreadPoolExecutor(max_workers=min(workers, len(batch))) as pool:
+                return list(pool.map(fn, batch))
+
         for index in range(0, len(pending), batch_size):
             batch = pending[index : index + batch_size]
             result.batches += 1
-            for leaf in batch:
-                clean = leaf.shutdown(
-                    use_shm=use_shm, deadline_seconds=shutdown_deadline
-                )
+            for clean in run(shut_one, batch):
                 if clean:
                     result.clean_shutdowns += 1
                 else:
                     result.killed += 1
             self._sample(result.dashboard, new_version)
-            for leaf in batch:
-                leaf.config.version = new_version
-                report = leaf.spawn()
+            for report in run(spawn_one, batch):
                 method = report["method"]
                 result.recovered_via[method] = result.recovered_via.get(method, 0) + 1
                 result.leaves_restarted += 1

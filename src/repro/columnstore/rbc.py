@@ -170,20 +170,48 @@ class RowBlockColumn:
             raise CorruptionError(f"bad RBC end magic 0x{end_magic:08x}")
         verify_crc32(crc, self._buf[: self._footer_offset])
 
-    def to_encoded(self) -> EncodedColumn:
-        """Reconstruct the :class:`EncodedColumn` this buffer was built from."""
+    def to_encoded(self, copy: bool = True) -> EncodedColumn:
+        """Reconstruct the :class:`EncodedColumn` this buffer was built from.
+
+        With ``copy=False`` the dictionary and data fields are
+        ``memoryview`` sections over this buffer instead of detached
+        ``bytes`` — no copy at all.  Every decoder accepts views, so the
+        zero-copy form is safe whenever the caller consumes the encoded
+        column before the underlying buffer goes away (the decode path
+        does exactly that).
+        """
         return EncodedColumn(
             self.flags,
             self.n_items,
             self.n_dict_items,
-            bytes(self.dictionary),
-            bytes(self.data),
+            bytes(self.dictionary) if copy else self.dictionary,
+            bytes(self.data) if copy else self.data,
         )
 
     def values(self, ctype: ColumnType) -> list[ColumnValue]:
         """Decode the column back to Python values."""
-        return decode_column(ctype, self.to_encoded())
+        # The encoded sections are consumed inside decode_column, so the
+        # zero-copy form avoids two throwaway buffer copies per decode.
+        return decode_column(ctype, self.to_encoded(copy=False))
 
     def copy_bytes(self) -> bytes:
         """A detached copy of the buffer (e.g. heap copy of an shm view)."""
         return bytes(self._buf)
+
+
+def rbc_extent(view: memoryview, offset: int) -> int:
+    """Total size of the RBC starting at ``offset``, from its header.
+
+    This is the only field the restore fast path needs to slice an RBC
+    out of a packed block without constructing a :class:`RowBlockColumn`
+    (full validation happens later, in ``verify``/decode).
+    """
+    if offset + 16 > len(view):
+        raise CorruptionError("RBC header overruns its enclosing buffer")
+    magic = struct.unpack_from("<I", view, offset)[0]
+    if magic != RBC_MAGIC:
+        raise CorruptionError(f"bad RBC magic 0x{magic:08x}")
+    total = struct.unpack_from("<Q", view, offset + 8)[0]
+    if total < HEADER_SIZE + FOOTER_SIZE:
+        raise CorruptionError(f"RBC claims impossible total size {total}")
+    return total

@@ -17,7 +17,7 @@ from __future__ import annotations
 import struct
 from typing import Iterable, Mapping
 
-from repro.columnstore.rbc import RowBlockColumn, build_rbc
+from repro.columnstore.rbc import RowBlockColumn, build_rbc, rbc_extent
 from repro.columnstore.schema import Schema
 from repro.errors import CapacityError, CorruptionError, LayoutVersionError, SchemaError
 from repro.types import TIME_COLUMN, ColumnValue
@@ -208,11 +208,23 @@ class RowBlock:
         return bytes(buf)
 
     @classmethod
-    def unpack(cls, buf: bytes | memoryview) -> "RowBlock":
+    def unpack(cls, buf: bytes | memoryview, copy: bool = True) -> "RowBlock":
         """Parse a contiguous row block back into heap format.
 
-        The RBC payloads are copied out into fresh heap ``bytes`` — this
-        is exactly the restore path's heap re-allocation.
+        This is the restore hot path, so it stays deliberately thin: each
+        RBC is located from its header's size field and materialized with
+        **one bulk ``bytes()``** — no intermediate
+        :class:`~repro.columnstore.rbc.RowBlockColumn` is constructed and
+        no section is re-copied.  Structural and checksum validation is
+        the job of :meth:`verify` (the restart engine calls it on every
+        restored block) and of the decoders at query time.
+
+        With ``copy=False`` the column buffers are ``memoryview`` slices
+        over ``buf`` — a zero-copy *attach* rather than a materialization.
+        The caller then owns the lifetime problem: the views (and any
+        block built from them) die with the underlying buffer, so this
+        form is for transient reads (inspection, re-serialization) — not
+        for blocks that must outlive a shared memory segment.
         """
         if len(buf) < PACK_HEADER.size:
             raise CorruptionError("packed row block shorter than its header")
@@ -242,14 +254,12 @@ class RowBlock:
         for name, offset in zip(schema.names, offsets):
             if not PACK_HEADER.size <= offset < total:
                 raise CorruptionError(f"column '{name}' offset {offset} out of bounds")
-            # The RBC header records its own total size; slice exactly.
-            column = RowBlockColumn(view[offset : offset + _rbc_size_at(view, offset)])
-            rbcs[name] = column.copy_bytes()
+            size = rbc_extent(view, offset)
+            if offset + size > total:
+                raise CorruptionError(
+                    f"column '{name}' extent {offset}+{size} overruns the "
+                    f"{total}-byte packed row block"
+                )
+            sliced = view[offset : offset + size]
+            rbcs[name] = bytes(sliced) if copy else sliced
         return cls(schema, rbcs, row_count, min_time, max_time, created_at)
-
-
-def _rbc_size_at(view: memoryview, offset: int) -> int:
-    """Read the total-size field of the RBC starting at ``offset``."""
-    if offset + 16 > len(view):
-        raise CorruptionError("RBC header overruns the packed row block")
-    return struct.unpack_from("<Q", view, offset + 8)[0]

@@ -119,11 +119,22 @@ def lz_decompress(data: bytes | memoryview) -> bytes:
                 f"LZ back-reference distance {match_dist} outside the "
                 f"{len(out)} bytes produced so far"
             )
-        # Overlapping copies are legal (distance < length repeats bytes),
-        # so copy byte ranges chunk-wise from the already-produced output.
         start = len(out) - match_dist
-        for i in range(match_len):
-            out.append(out[start + i])
+        if match_dist >= match_len:
+            # Non-overlapping: the whole match already exists, one slice.
+            out += out[start : start + match_len]
+        else:
+            # Overlapping copies are legal (distance < length repeats the
+            # last `distance` bytes): everything past `start` is periodic
+            # with period `match_dist`, so chunks can be taken from the
+            # fixed `start` as long as each begins at a period boundary —
+            # which they do, because the available window (a multiple of
+            # the period) doubles with every extension.
+            remaining = match_len
+            while remaining > 0:
+                take = min(len(out) - start, remaining)
+                out += out[start : start + take]
+                remaining -= take
     else:
         raise CorruptionError("LZ stream ended without a terminator token")
     return bytes(out)

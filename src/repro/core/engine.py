@@ -57,6 +57,7 @@ from repro.core.states import (
     TableRestoreMachine,
     TableRestoreState,
 )
+from repro.core.parallel import FootprintBudget
 from repro.core.watchdog import CooperativeDeadline
 from repro.disk.backup import DiskBackup
 from repro.disk.recovery import recover_leafmap
@@ -144,6 +145,12 @@ class RestartEngine:
     fault_hook:
         ``f(point_name)`` called at protocol boundaries; tests raise from
         it to simulate crashes.
+    budget:
+        Optional machine-wide :class:`~repro.core.parallel.FootprintBudget`.
+        When set, the engine reserves each copy window (a table segment
+        during backup, a table's heap rematerialization during restore)
+        against it before starting the copy, so concurrent engines on
+        one machine queue instead of stacking their in-flight bytes.
     """
 
     def __init__(
@@ -156,6 +163,7 @@ class RestartEngine:
         clock: Clock | None = None,
         size_estimator: Callable[[str, list], int] | None = None,
         fault_hook: Callable[[str], None] | None = None,
+        budget: FootprintBudget | None = None,
     ) -> None:
         self.leaf_id = str(leaf_id)
         self.namespace = namespace
@@ -163,9 +171,23 @@ class RestartEngine:
         self.layout_version = layout_version
         self.tracker = tracker or MemoryTracker()
         self.clock = clock or SystemClock()
+        self.budget = budget
         self._size_estimator = size_estimator or _exact_size
         self._fault = fault_hook or (lambda point: None)
+        #: Heap bytes this engine has reported to the (possibly shared)
+        #: tracker.  ``tracker.in_region("heap")`` is machine-wide when
+        #: leaves share a tracker; the backup deficit seeding below must
+        #: compare against *this leaf's* contribution only.
+        self._engine_heap = 0
         self._reset_counters()
+
+    def _track_heap_alloc(self, nbytes: int) -> None:
+        self.tracker.allocate("heap", nbytes, at=self.clock.now())
+        self._engine_heap += nbytes
+
+    def _track_heap_free(self, nbytes: int) -> None:
+        self.tracker.free("heap", nbytes, at=self.clock.now())
+        self._engine_heap = max(0, self._engine_heap - nbytes)
 
     def _reset_counters(self) -> None:
         self._rbc_copies = 0
@@ -241,9 +263,13 @@ class RestartEngine:
         # tracker still get consistent footprint numbers.
         leafmap.seal_all()
         total_heap = sum(table.sealed_nbytes for table in leafmap)
-        deficit = total_heap - self.tracker.in_region("heap")
+        # Compare against this engine's own contribution, not the whole
+        # region: with a machine-wide shared tracker the region also
+        # holds the other leaves' bytes, and measuring the deficit
+        # against it would let this leaf's data go uncharged.
+        deficit = total_heap - self._engine_heap
         if deficit > 0:
-            self.tracker.allocate("heap", deficit, at=self.clock.now())
+            self._track_heap_alloc(deficit)
         if self.shm_state_exists():
             self.discard_shm()  # stale state from an unlinked predecessor
         meta = LeafMetadata.create(self.namespace, self.leaf_id, self.layout_version)
@@ -301,51 +327,70 @@ class RestartEngine:
         # record does not reference; the name is ours, so reclaim it.
         if segment_exists(base):
             ShmSegment.attach(base).unlink()
-        segment = ShmSegment.create(base, estimate)
-        self.tracker.allocate("shm", segment.size, at=self.clock.now())
-        writer = TableSegmentWriter(segment, table.name, blocks)
-        while True:
-            try:
-                events = writer.copy_events()
-                # copy_events validates capacity before the first write,
-                # so a too-small estimate fails here with nothing copied.
-                first_event = next(events, None)
-            except ShmError:
-                # "grow the table segment in size if needed": POSIX
-                # segments cannot grow in place, so allocate a larger one
-                # and retire the small one.  Nothing was copied yet.
-                needed = table_segment_size(table.name, blocks)
-                self.tracker.free("shm", segment.size, at=self.clock.now())
-                segment.unlink()
-                grows += 1
-                grown_name = f"{base}-g{grows}"
-                if segment_exists(grown_name):
-                    ShmSegment.attach(grown_name).unlink()
-                segment = ShmSegment.create(grown_name, needed)
-                self.tracker.allocate("shm", segment.size, at=self.clock.now())
-                writer = TableSegmentWriter(segment, table.name, blocks)
-                continue
-            break
-        if first_event is not None:
-            self._apply_copy_event(blocks, first_event, deadline)
-        for event in events:
-            self._apply_copy_event(blocks, event, deadline)
-        record = TableSegmentRecord(
-            table_name=table.name,
-            segment_name=segment.name,
-            used_bytes=writer.used_bytes,
-            rows_ingested=table.total_rows_ingested,
-            rows_expired=table.total_rows_expired,
-        )
-        segment.close()
-        return record, grows
+        # This table's copy window — the span where segment and heap
+        # coexist — is in flight against the machine-wide budget until
+        # the copy loop has drained the heap side.
+        held = 0
+        if self.budget is not None:
+            self.budget.acquire(estimate)
+            held = estimate
+        try:
+            segment = ShmSegment.create(base, estimate)
+            self.tracker.allocate("shm", segment.size, at=self.clock.now())
+            writer = TableSegmentWriter(segment, table.name, blocks)
+            while True:
+                try:
+                    events = writer.copy_events()
+                    # copy_events validates capacity before the first write,
+                    # so a too-small estimate fails here with nothing copied.
+                    first_event = next(events, None)
+                except ShmError:
+                    # "grow the table segment in size if needed": POSIX
+                    # segments cannot grow in place, so allocate a larger one
+                    # and retire the small one.  Nothing was copied yet.
+                    needed = table_segment_size(table.name, blocks)
+                    self.tracker.free("shm", segment.size, at=self.clock.now())
+                    segment.unlink()
+                    grows += 1
+                    if self.budget is not None:
+                        # Swap the reservation: release before re-acquiring
+                        # so an oversized regrow can use the whole-budget
+                        # admission instead of deadlocking on itself.
+                        self.budget.release(held)
+                        held = 0
+                        self.budget.acquire(needed)
+                        held = needed
+                    grown_name = f"{base}-g{grows}"
+                    if segment_exists(grown_name):
+                        ShmSegment.attach(grown_name).unlink()
+                    segment = ShmSegment.create(grown_name, needed)
+                    self.tracker.allocate("shm", segment.size, at=self.clock.now())
+                    writer = TableSegmentWriter(segment, table.name, blocks)
+                    continue
+                break
+            if first_event is not None:
+                self._apply_copy_event(blocks, first_event, deadline)
+            for event in events:
+                self._apply_copy_event(blocks, event, deadline)
+            record = TableSegmentRecord(
+                table_name=table.name,
+                segment_name=segment.name,
+                used_bytes=writer.used_bytes,
+                rows_ingested=table.total_rows_ingested,
+                rows_expired=table.total_rows_expired,
+            )
+            segment.close()
+            return record, grows
+        finally:
+            if self.budget is not None and held:
+                self.budget.release(held)
 
     def _apply_copy_event(self, blocks, event, deadline) -> None:
         if deadline is not None:
             deadline.check()
         block = blocks[event.block_index]
         freed = block.release_column(event.column_name)
-        self.tracker.free("heap", freed, at=self.clock.now())
+        self._track_heap_free(freed)
         self._rbc_copies += 1
         self._bytes_copied += event.nbytes
         if event.last_in_block:
@@ -436,33 +481,42 @@ class RestartEngine:
         for record in records:
             machine = TableRestoreMachine()
             machine.transition(TableRestoreState.MEMORY_RECOVERY)
-            segment = ShmSegment.attach(record.segment_name)
-            table = leafmap.create_table(record.table_name)
-            blocks = []
-            view = segment.read_at(0, record.used_bytes)
+            # The restore copy window: this table exists twice (segment +
+            # fresh heap copies) until the segment is unlinked.  Reserve
+            # that double-presence against the machine-wide budget.
+            if self.budget is not None:
+                self.budget.acquire(record.used_bytes)
             try:
-                for _, block in iter_blocks_from_segment(view):
-                    block.verify()
-                    # "allocate memory in heap; copy data from table
-                    # segment to heap" — unpack() made fresh heap copies
-                    # per column.
-                    self.tracker.allocate("heap", block.nbytes, at=self.clock.now())
-                    blocks.append(block)
-                    report.row_blocks += 1
-                    report.rbc_copies += len(block.schema)
-                    report.bytes_copied += block.nbytes
-                    report.rows += block.row_count
+                segment = ShmSegment.attach(record.segment_name)
+                table = leafmap.create_table(record.table_name)
+                blocks = []
+                view = segment.read_at(0, record.used_bytes)
+                try:
+                    for _, block in iter_blocks_from_segment(view):
+                        block.verify()
+                        # "allocate memory in heap; copy data from table
+                        # segment to heap" — unpack() made fresh heap
+                        # copies, one bulk bytes() per column.
+                        self._track_heap_alloc(block.nbytes)
+                        blocks.append(block)
+                        report.row_blocks += 1
+                        report.rbc_copies += len(block.schema)
+                        report.bytes_copied += block.nbytes
+                        report.rows += block.row_count
+                finally:
+                    # Release the view before unlinking: an exported pointer
+                    # into the mmap would make close() fail.
+                    view.release()
+                table.replace_blocks(blocks)
+                table.total_rows_ingested = record.rows_ingested
+                table.total_rows_expired = record.rows_expired
+                report.tables += 1
+                # "delete the table shared memory segment"
+                self.tracker.free("shm", segment.size, at=self.clock.now())
+                segment.unlink()
             finally:
-                # Release the view before unlinking: an exported pointer
-                # into the mmap would make close() fail.
-                view.release()
-            table.replace_blocks(blocks)
-            table.total_rows_ingested = record.rows_ingested
-            table.total_rows_expired = record.rows_expired
-            report.tables += 1
-            # "delete the table shared memory segment"
-            self.tracker.free("shm", segment.size, at=self.clock.now())
-            segment.unlink()
+                if self.budget is not None:
+                    self.budget.release(record.used_bytes)
             machine.transition(TableRestoreState.ALIVE)
             self._fault("restore:table")
 
@@ -476,7 +530,7 @@ class RestartEngine:
         report.tables = len(leafmap)
         report.row_blocks = sum(table.block_count for table in leafmap)
         for table in leafmap:
-            self.tracker.allocate("heap", table.nbytes, at=self.clock.now())
+            self._track_heap_alloc(table.nbytes)
         report.method = RecoveryMethod.DISK
 
     def _finish_report(

@@ -1,0 +1,279 @@
+"""Parallel restart: a machine's leaves through shutdown/restore at once.
+
+The paper restarts one leaf per machine at a time during rollover so the
+other seven keep serving queries (§4.5), but after a *planned machine
+event* — kernel upgrade, host move, power-down — every leaf must restart
+together, and doing them sequentially multiplies the 3–4 s per-leaf copy
+window by eight.  This module fans the leaves of one machine over a
+thread pool while keeping the Section 4.4 footprint claim true
+*machine-wide*: the combined in-flight bytes of all concurrent copies are
+capped by a :class:`FootprintBudget`, so the machine's peak stays at
+
+    data + budgeted in-flight copy windows + metadata
+
+rather than growing by one full table segment per concurrent leaf.
+
+Threads, not processes: each leaf's engine spends its time in bulk
+``memoryview`` copies and segment syscalls, and the coordination cost of
+a pool is negligible against the per-leaf copy time.  The per-leaf
+protocol is untouched — :class:`ParallelRestartCoordinator` only decides
+*when* each leaf's existing ``backup_to_shm``/``restore`` runs, so every
+single-leaf invariant (valid bit last, disk fallback on exception) holds
+unchanged, and one leaf's failure never poisons its siblings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.core.watchdog import CooperativeDeadline
+
+if TYPE_CHECKING:  # circular at runtime: engine imports FootprintBudget
+    from repro.core.engine import RestartReport
+    from repro.server.leaf import LeafServer
+
+
+class FootprintBudget:
+    """A byte budget shared by every copy in flight on one machine.
+
+    ``acquire(n)`` blocks until ``n`` more in-flight bytes fit under the
+    limit.  One special case keeps progress guaranteed: a request larger
+    than the whole budget (a single table bigger than the cap) is
+    admitted when nothing else is in flight — it runs alone, which is the
+    tightest bound any scheduler could give it.  Without that rule a
+    machine whose largest table exceeds the budget would deadlock.
+    """
+
+    def __init__(self, limit_bytes: int) -> None:
+        if limit_bytes <= 0:
+            raise ValueError(f"budget must be positive, got {limit_bytes}")
+        self.limit_bytes = int(limit_bytes)
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self.peak_in_flight = 0
+        self.blocked_acquires = 0
+
+    def _admissible(self, nbytes: int) -> bool:
+        if self._in_flight + nbytes <= self.limit_bytes:
+            return True
+        # Oversized request: admit only into an empty budget.
+        return self._in_flight == 0
+
+    def acquire(self, nbytes: int) -> None:
+        """Block until ``nbytes`` of in-flight copy space is available."""
+        if nbytes < 0:
+            raise ValueError(f"cannot acquire a negative size ({nbytes})")
+        with self._cond:
+            if not self._admissible(nbytes):
+                self.blocked_acquires += 1
+                while not self._admissible(nbytes):
+                    self._cond.wait()
+            self._in_flight += nbytes
+            if self._in_flight > self.peak_in_flight:
+                self.peak_in_flight = self._in_flight
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget, waking blocked acquirers."""
+        with self._cond:
+            if nbytes < 0 or nbytes > self._in_flight:
+                raise ValueError(
+                    f"releasing {nbytes} bytes with {self._in_flight} in flight"
+                )
+            self._in_flight -= nbytes
+            self._cond.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    @contextmanager
+    def reserve(self, nbytes: int) -> Iterator[None]:
+        self.acquire(nbytes)
+        try:
+            yield
+        finally:
+            self.release(nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"FootprintBudget(limit={self.limit_bytes}, "
+            f"in_flight={self.in_flight}, peak={self.peak_in_flight})"
+        )
+
+
+@dataclass
+class RestartOutcome:
+    """One leaf's result from a parallel phase."""
+
+    leaf_id: str
+    report: "RestartReport | None" = None
+    error: BaseException | None = None
+    duration_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ParallelRestartReport:
+    """What one machine-wide parallel restart did."""
+
+    workers: int
+    shutdown: list[RestartOutcome] = field(default_factory=list)
+    restore: list[RestartOutcome] = field(default_factory=list)
+    shutdown_seconds: float = 0.0
+    restore_seconds: float = 0.0
+    peak_in_flight_bytes: int = 0
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.shutdown_seconds + self.restore_seconds
+
+    @property
+    def failures(self) -> list[RestartOutcome]:
+        return [o for o in self.shutdown + self.restore if not o.ok]
+
+
+class ParallelRestartCoordinator:
+    """Drives many leaves' shutdown/restore concurrently.
+
+    Parameters
+    ----------
+    leaves:
+        The :class:`~repro.server.leaf.LeafServer` instances of one
+        machine.
+    max_workers:
+        Pool width; defaults to one worker per leaf (the
+        leaves-per-machine fan-out of §2).
+    budget:
+        Optional machine-wide in-flight byte cap — a
+        :class:`FootprintBudget` or a plain byte count.  Installed on
+        every leaf's engine for the duration of each phase, so the
+        engines' copy windows queue against one shared limit.
+    """
+
+    def __init__(
+        self,
+        leaves: "Sequence[LeafServer]",
+        max_workers: int | None = None,
+        budget: FootprintBudget | int | None = None,
+    ) -> None:
+        if not leaves:
+            raise ValueError("a coordinator needs at least one leaf")
+        self.leaves = list(leaves)
+        if max_workers is None:
+            max_workers = len(self.leaves)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = min(max_workers, len(self.leaves))
+        if isinstance(budget, int):
+            budget = FootprintBudget(budget)
+        self.budget = budget
+
+    # ------------------------------------------------------------------
+    # Fan-out machinery
+    # ------------------------------------------------------------------
+
+    def _run_phase(
+        self, fn: "Callable[[LeafServer], RestartReport | None]"
+    ) -> list[RestartOutcome]:
+        """Apply ``fn`` to every leaf concurrently; never raises.
+
+        Exceptions are captured per leaf — a shutdown that overruns its
+        deadline or a restore that dies even on its disk fallback shows
+        up as a failed :class:`RestartOutcome` while its siblings finish
+        normally.
+        """
+        for leaf in self.leaves:
+            leaf.engine.budget = self.budget
+
+        def one(leaf: "LeafServer") -> RestartOutcome:
+            started = time.perf_counter()
+            try:
+                report = fn(leaf)
+                return RestartOutcome(
+                    leaf.leaf_id,
+                    report=report,
+                    duration_seconds=time.perf_counter() - started,
+                )
+            except Exception as exc:
+                return RestartOutcome(
+                    leaf.leaf_id,
+                    error=exc,
+                    duration_seconds=time.perf_counter() - started,
+                )
+
+        try:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(one, self.leaves))
+        finally:
+            for leaf in self.leaves:
+                leaf.engine.budget = None
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def shutdown_all(
+        self,
+        use_shm: bool = True,
+        deadline_seconds: float | None = None,
+    ) -> list[RestartOutcome]:
+        """Shut every leaf down (to shared memory by default) in parallel.
+
+        Each leaf gets its *own* deadline of ``deadline_seconds`` — the
+        operational contract is per leaf ("we kill the leaf server if it
+        has not shut down after 3 minutes"), not per machine.
+        """
+
+        def one(leaf: "LeafServer") -> "RestartReport | None":
+            deadline = (
+                CooperativeDeadline(timeout=deadline_seconds, clock=leaf.clock)
+                if deadline_seconds is not None
+                else None
+            )
+            return leaf.shutdown(use_shm=use_shm, deadline=deadline)
+
+        return self._run_phase(one)
+
+    def start_all(
+        self, memory_recovery_enabled: bool = True
+    ) -> list[RestartOutcome]:
+        """Boot every leaf in parallel (shared memory first, disk fallback)."""
+        return self._run_phase(
+            lambda leaf: leaf.start(memory_recovery_enabled=memory_recovery_enabled)
+        )
+
+    def restart_all(
+        self,
+        use_shm: bool = True,
+        memory_recovery_enabled: bool = True,
+        deadline_seconds: float | None = None,
+    ) -> ParallelRestartReport:
+        """The full cycle: parallel shutdown, then parallel restore.
+
+        The two phases are separated by a barrier, mirroring a real
+        machine event: every old process must be gone before the new
+        binary's processes come up and attach.
+        """
+        report = ParallelRestartReport(workers=self.max_workers)
+        started = time.perf_counter()
+        report.shutdown = self.shutdown_all(
+            use_shm=use_shm, deadline_seconds=deadline_seconds
+        )
+        report.shutdown_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        report.restore = self.start_all(
+            memory_recovery_enabled=memory_recovery_enabled
+        )
+        report.restore_seconds = time.perf_counter() - started
+        if self.budget is not None:
+            report.peak_in_flight_bytes = self.budget.peak_in_flight
+        return report

@@ -63,6 +63,7 @@ class LeafServer:
         rows_per_block: int | None = None,
         version: str = "v1",
         machine_id: str | None = None,
+        tracker: MemoryTracker | None = None,
     ) -> None:
         self.leaf_id = str(leaf_id)
         self.machine_id = machine_id if machine_id is not None else self.leaf_id
@@ -70,7 +71,9 @@ class LeafServer:
         self.clock = clock or SystemClock()
         self.version = version
         self._rows_per_block = rows_per_block
-        self.tracker = MemoryTracker()
+        # A machine restarting its leaves in parallel passes one shared
+        # tracker so the footprint peak is measured machine-wide.
+        self.tracker = tracker or MemoryTracker()
         self.backup = backup
         self.engine = RestartEngine(
             leaf_id=self.leaf_id,

@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.core.parallel import (
+    FootprintBudget,
+    ParallelRestartCoordinator,
+    ParallelRestartReport,
+)
 from repro.disk.backup import DiskBackup
 from repro.server.aggregator import Aggregator
 from repro.server.leaf import DEFAULT_CAPACITY_BYTES, LeafServer
 from repro.util.clock import Clock, SystemClock
+from repro.util.memtrack import MemoryTracker
 
 #: Paper: "Each machine currently runs eight leaf servers".
 DEFAULT_LEAVES_PER_MACHINE = 8
@@ -37,11 +43,17 @@ class Machine:
         clock: Clock | None = None,
         rows_per_block: int | None = None,
         version: str = "v1",
+        shared_tracker: bool = False,
     ) -> None:
         if leaves_per_machine < 1:
             raise ValueError("a machine needs at least one leaf server")
         self.machine_id = str(machine_id)
         self.clock = clock or SystemClock()
+        #: With ``shared_tracker`` every leaf reports to one tracker, so
+        #: its peak is the machine's physical-memory high-water mark.
+        self.tracker: MemoryTracker | None = (
+            MemoryTracker() if shared_tracker else None
+        )
         self.leaves: list[LeafServer] = []
         root = Path(backup_root) / f"machine-{self.machine_id}"
         for index in range(leaves_per_machine):
@@ -57,6 +69,7 @@ class Machine:
                     rows_per_block=rows_per_block,
                     version=version,
                     machine_id=self.machine_id,
+                    tracker=self.tracker,
                 )
             )
         self.aggregator = Aggregator(self.leaves)
@@ -64,6 +77,34 @@ class Machine:
     def start_all(self) -> None:
         for leaf in self.leaves:
             leaf.start()
+
+    def restart_all(
+        self,
+        workers: int | None = None,
+        budget_bytes: int | None = None,
+        use_shm: bool = True,
+        memory_recovery_enabled: bool = True,
+        deadline_seconds: float | None = None,
+    ) -> ParallelRestartReport:
+        """Restart every leaf through shared memory, ``workers`` at a time.
+
+        The machine-event path (kernel upgrade, power-down): all leaves
+        shut down to shared memory concurrently, then all come back
+        concurrently.  ``budget_bytes`` caps the combined in-flight copy
+        windows so the machine-wide footprint stays at data + budget +
+        metadata; ``workers`` defaults to one thread per leaf.
+        """
+        budget = (
+            FootprintBudget(budget_bytes) if budget_bytes is not None else None
+        )
+        coordinator = ParallelRestartCoordinator(
+            self.leaves, max_workers=workers, budget=budget
+        )
+        return coordinator.restart_all(
+            use_shm=use_shm,
+            memory_recovery_enabled=memory_recovery_enabled,
+            deadline_seconds=deadline_seconds,
+        )
 
     @property
     def restarting_leaves(self) -> list[LeafServer]:

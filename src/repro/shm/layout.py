@@ -151,6 +151,15 @@ class TableSegmentWriter:
         self.used_bytes = 0
         self._finished = False
 
+    def write_rbc(self, offset: int, rbc: bytes | bytearray | memoryview) -> int:
+        """Bulk-write one row block column straight from its heap buffer.
+
+        One buffer-protocol ``memcpy`` into the segment, no staging copy:
+        the source may be the heap ``bytes`` object itself or a
+        ``memoryview`` over it.  Returns the offset past the write.
+        """
+        return self._segment.write_at(offset, rbc)
+
     def copy_events(self) -> Iterator[CopyEvent]:
         """Write everything; yield after each RBC so the caller can free
         the corresponding heap buffer before the next copy."""
@@ -167,7 +176,7 @@ class TableSegmentWriter:
             cursor = self._segment.write_at(block_offset, block_preamble)
             names = block.schema.names
             for col_index, (name, rbc) in enumerate(zip(names, rbcs)):
-                cursor = self._segment.write_at(cursor, rbc)
+                cursor = self.write_rbc(cursor, rbc)
                 yield CopyEvent(
                     block_index=index,
                     column_name=name,
@@ -231,12 +240,21 @@ def read_segment_header(view: memoryview) -> tuple[str, list[tuple[int, int]]]:
     return table_name, pairs
 
 
-def iter_blocks_from_segment(view: memoryview) -> Iterator[tuple[str, RowBlock]]:
-    """Yield ``(table_name, row_block)`` pairs, copying each block's
-    columns back into fresh heap memory (the restore direction)."""
+def iter_blocks_from_segment(
+    view: memoryview, copy: bool = True
+) -> Iterator[tuple[str, RowBlock]]:
+    """Yield ``(table_name, row_block)`` pairs (the restore direction).
+
+    Each block is materialized by ``RowBlock.unpack``'s fast path: the
+    block region is sliced as a ``memoryview`` (no copy) and every RBC
+    leaves the segment with exactly one bulk ``bytes()``.  With
+    ``copy=False`` even that copy is skipped and the blocks *attach* to
+    the segment — valid only while ``view`` stays alive, and the views
+    must be dropped before the segment can be closed or unlinked.
+    """
     table_name, pairs = read_segment_header(view)
     for offset, size in pairs:
-        yield table_name, RowBlock.unpack(view[offset : offset + size])
+        yield table_name, RowBlock.unpack(view[offset : offset + size], copy=copy)
 
 
 def read_table_from_segment(

@@ -7,10 +7,16 @@ whereas a copy-everything-then-free strategy would briefly need twice the
 data size.  Python's allocator hides physical memory, so the restart
 engine reports every logical allocate/free to a :class:`MemoryTracker`
 and experiment E8 asserts the peak bound on those numbers.
+
+A machine restarting several leaves in parallel shares one tracker across
+all of their engines, so every mutation is guarded by a lock — the peak
+observed then is the *machine-wide* footprint, the quantity experiment
+E15 bounds.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -21,31 +27,40 @@ class MemoryTracker:
     Regions are free-form labels — the restart engine uses ``"heap"`` and
     ``"shm"`` — and the invariant of interest is on the *sum* across
     regions, since a real machine has one pool of physical memory.
+
+    Thread-safe: concurrent engines (one per leaf on a machine) may share
+    a single tracker, and the recorded peak is then the true high-water
+    mark across their interleaved copies.
     """
 
     regions: dict[str, int] = field(default_factory=dict)
     peak_total: int = 0
     _history: list[tuple[float, int]] = field(default_factory=list)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def allocate(self, region: str, nbytes: int, at: float | None = None) -> None:
         """Record ``nbytes`` newly allocated in ``region``."""
         if nbytes < 0:
             raise ValueError(f"cannot allocate a negative size ({nbytes})")
-        self.regions[region] = self.regions.get(region, 0) + nbytes
-        self._after_change(at)
+        with self._lock:
+            self.regions[region] = self.regions.get(region, 0) + nbytes
+            self._after_change(at)
 
     def free(self, region: str, nbytes: int, at: float | None = None) -> None:
         """Record ``nbytes`` freed from ``region``."""
         if nbytes < 0:
             raise ValueError(f"cannot free a negative size ({nbytes})")
-        current = self.regions.get(region, 0)
-        if nbytes > current:
-            raise ValueError(
-                f"freeing {nbytes} bytes from region '{region}' which only "
-                f"holds {current}"
-            )
-        self.regions[region] = current - nbytes
-        self._after_change(at)
+        with self._lock:
+            current = self.regions.get(region, 0)
+            if nbytes > current:
+                raise ValueError(
+                    f"freeing {nbytes} bytes from region '{region}' which only "
+                    f"holds {current}"
+                )
+            self.regions[region] = current - nbytes
+            self._after_change(at)
 
     def _after_change(self, at: float | None) -> None:
         total = self.total
@@ -57,16 +72,20 @@ class MemoryTracker:
     @property
     def total(self) -> int:
         """Bytes currently allocated across all regions."""
-        return sum(self.regions.values())
+        with self._lock:
+            return sum(self.regions.values())
 
     def in_region(self, region: str) -> int:
-        return self.regions.get(region, 0)
+        with self._lock:
+            return self.regions.get(region, 0)
 
     @property
     def history(self) -> list[tuple[float, int]]:
         """(timestamp, total bytes) samples, when timestamps were supplied."""
-        return list(self._history)
+        with self._lock:
+            return list(self._history)
 
     def reset_peak(self) -> None:
         """Restart peak tracking from the current total."""
-        self.peak_total = self.total
+        with self._lock:
+            self.peak_total = self.total
