@@ -36,10 +36,20 @@ def synced_backup(tmp_path, clock):
 
 
 def test_restart_from_disk(benchmark, synced_backup, shm_namespace, clock, record_result):
-    """The slow path: read every row and re-translate it to columns."""
+    """The slow path: read every row and re-translate it to columns.
+
+    This is the paper's 2.5-3 h baseline, so the snapshot fast tier
+    (E12) is pinned off — legacy row-format replay only.
+    """
 
     def run():
-        engine = RestartEngine("d", namespace=shm_namespace, backup=synced_backup, clock=clock)
+        engine = RestartEngine(
+            "d",
+            namespace=shm_namespace,
+            backup=synced_backup,
+            clock=clock,
+            disk_snapshot_tier=False,
+        )
         restored = LeafMap(clock=clock, rows_per_block=ROWS_PER_BLOCK)
         report = engine.restore(restored)
         assert report.method is RecoveryMethod.DISK

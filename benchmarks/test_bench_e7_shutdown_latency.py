@@ -76,7 +76,9 @@ def test_overrunning_shutdown_is_killed_and_next_boot_uses_disk(
         report = RestartEngine(
             "k", namespace=shm_namespace, backup=backup, clock=clock
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        # Disk recovery via the snapshot tier: the sealed sync left a
+        # fresh shm-format snapshot behind.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert restored.row_count == N_ROWS
 
     benchmark.pedantic(run, setup=setup, rounds=3)

@@ -61,7 +61,9 @@ def test_crash_before_valid_bit(benchmark, shm_namespace, backup, clock, record_
         report = RestartEngine(
             "c", namespace=shm_namespace, backup=backup, clock=clock
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        # Shared memory is refused; disk recovery takes the snapshot tier
+        # because the sealed sync left a fresh snapshot.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert restored.row_count == N_ROWS
         return report
 
@@ -89,7 +91,7 @@ def test_crash_during_restore_falls_back(
             "r", namespace=shm_namespace, backup=backup, clock=clock,
             fault_hook=crash_point("restore:table"),
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert report.fell_back_to_disk
         assert restored.row_count == N_ROWS
 
@@ -119,7 +121,9 @@ def test_unclean_process_death_loses_only_unsynced_tail(
         report = RestartEngine(
             "u", namespace=shm_namespace, backup=backup, clock=clock
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        # The unsynced tail never reached the manifest, so the snapshot
+        # is still the trusted generation — fast tier, synced rows only.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert restored.row_count == N_ROWS  # the 500-row tail is gone
 
     benchmark.pedantic(run, setup=setup, rounds=5)

@@ -106,11 +106,15 @@ def main() -> None:
         disk_boot = json.loads(out.stdout)
         print(f"method={disk_boot['method']}  rows={disk_boot['rows']:,}  "
               f"restore={disk_boot['restore_seconds']:.3f}s")
-        assert disk_boot["method"] == "disk"
+        # The clean shutdown synced a fresh shm-format snapshot, so disk
+        # recovery takes the fast snapshot tier (paper §6 / E12).
+        assert disk_boot["method"] == "disk_snapshot"
 
-        speedup = disk_boot["restore_seconds"] / max(1e-9, shm_boot["restore_seconds"])
-        print(f"\nshared memory restart was {speedup:.1f}x faster than disk "
-              f"(the paper measures ~60x at 120 GB scale)")
+        print(f"\nat this toy scale both fast paths are milliseconds "
+              f"(shm {shm_boot['restore_seconds']:.3f}s, snapshot tier "
+              f"{disk_boot['restore_seconds']:.3f}s); run "
+              f"`python -m repro bench-restart --disk-tier` to see either "
+              f"beat legacy row-format replay by orders of magnitude")
 
 
 if __name__ == "__main__":

@@ -81,6 +81,8 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
     namespace = f"reprocli-{uuid.uuid4().hex[:8]}"
     if args.workers is not None:
         return _bench_parallel_restart(args, namespace)
+    if args.disk_tier:
+        return _bench_disk_tier(args, namespace)
     with tempfile.TemporaryDirectory() as tmp:
         backup = DiskBackup(tmp)
         leafmap = LeafMap(rows_per_block=4096)
@@ -106,10 +108,73 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
 
         started = time.perf_counter()
         restored = LeafMap(rows_per_block=4096)
-        RestartEngine("cli", namespace=namespace, backup=backup).restore(restored)
+        RestartEngine(
+            "cli", namespace=namespace, backup=backup, disk_snapshot_tier=False
+        ).restore(restored)
         disk_restore = time.perf_counter() - started
         print(f"restore from disk: {disk_restore * 1000:.1f} ms")
         print(f"shared memory was {disk_restore / max(shm_restore, 1e-9):.0f}x faster")
+    return 0
+
+
+def _bench_disk_tier(args: argparse.Namespace, namespace: str) -> int:
+    """``bench-restart --disk-tier``: legacy row-format replay vs the
+    shm-format snapshot tier (experiment E12), plus a forced fallback."""
+    import tempfile
+
+    from repro.columnstore.leafmap import LeafMap
+    from repro.core.engine import RecoveryMethod, RestartEngine
+    from repro.disk.backup import DiskBackup
+    from repro.workloads import service_requests
+
+    with tempfile.TemporaryDirectory() as tmp:
+        backup = DiskBackup(tmp)
+        leafmap = LeafMap(rows_per_block=4096)
+        leafmap.get_or_create("service_requests").add_rows(
+            service_requests(args.rows)
+        )
+        leafmap.seal_all()
+        data_bytes = sum(t.sealed_nbytes for t in leafmap)
+        backup.sync_leafmap(leafmap)  # sealed buffers -> snapshots are fresh
+        rows = leafmap.snapshot_rows()
+        print(f"{args.rows:,} rows, {data_bytes / 1e6:.2f} MB compressed")
+
+        started = time.perf_counter()
+        legacy = LeafMap(rows_per_block=4096)
+        report = RestartEngine(
+            "cli", namespace=namespace, backup=backup, disk_snapshot_tier=False
+        ).restore(legacy)
+        legacy_s = time.perf_counter() - started
+        assert report.method is RecoveryMethod.DISK
+        print(f"legacy row-format replay:  {legacy_s * 1000:.1f} ms")
+
+        started = time.perf_counter()
+        fast = LeafMap(rows_per_block=4096)
+        report = RestartEngine("cli", namespace=namespace, backup=backup).restore(fast)
+        snapshot_s = time.perf_counter() - started
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
+        assert fast.snapshot_rows() == rows
+        print(f"shm-format snapshot tier:  {snapshot_s * 1000:.1f} ms")
+        print(f"snapshot tier was {legacy_s / max(snapshot_s, 1e-9):.1f}x faster")
+
+        # Tear one snapshot file: the ladder must route down to legacy
+        # replay and recover the identical rows.
+        victim = backup.snapshot_path("service_requests")
+        victim.write_bytes(victim.read_bytes()[:64])
+        torn = LeafMap(rows_per_block=4096)
+        report = RestartEngine("cli", namespace=namespace, backup=backup).restore(torn)
+        assert report.method is RecoveryMethod.DISK and report.fell_back_to_legacy
+        assert torn.snapshot_rows() == rows
+        print("torn snapshot: fell back to legacy replay, identical rows")
+
+        profile = paper_profile()
+        legacy_sim = profile.disk_restart_seconds(1)
+        snap_sim = profile.disk_snapshot_restart_seconds(1)
+        print(
+            f"simulator, paper-scale leaf: legacy {_fmt_duration(legacy_sim)} "
+            f"vs snapshot tier {_fmt_duration(snap_sim)} "
+            f"({legacy_sim / snap_sim:.1f}x)"
+        )
     return 0
 
 
@@ -209,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="leaves on the machine for --workers mode")
     p.add_argument("--budget-mb", type=float, default=None,
                    help="machine-wide in-flight copy budget for --workers mode")
+    p.add_argument("--disk-tier", action="store_true",
+                   help="compare legacy row-format replay against the "
+                   "shm-format snapshot tier (E12), incl. torn-file fallback")
     p.set_defaults(func=cmd_bench_restart)
 
     sub.add_parser(

@@ -38,6 +38,14 @@ the *next* restart goes to disk — the crash-safety property of the
 protocol.  Every heap free and shared memory allocation is reported to a
 :class:`~repro.util.memtrack.MemoryTracker` so the Section 4.4 footprint
 claim is checkable (experiment E8).
+
+"Recover from disk" is itself a two-rung ladder (paper, Section 6): if
+every backed-up table has a trusted shm-format snapshot — generation
+matching the manifest watermark, CRC intact, layout version readable —
+the engine bulk-unpacks the snapshots (DISK_SNAPSHOT_RECOVERY) instead
+of replaying the legacy row format.  Any validity failure routes the
+whole leaf down to legacy replay; a stale or torn snapshot can cost
+time, never correctness.
 """
 
 from __future__ import annotations
@@ -60,7 +68,7 @@ from repro.core.states import (
 from repro.core.parallel import FootprintBudget
 from repro.core.watchdog import CooperativeDeadline
 from repro.disk.backup import DiskBackup
-from repro.disk.recovery import recover_leafmap
+from repro.disk.recovery import iter_snapshot_tables, recover_leafmap
 from repro.errors import (
     CorruptionError,
     LayoutVersionError,
@@ -88,6 +96,7 @@ FAULT_POINTS = (
     "restore:start",
     "restore:after_invalidate",
     "restore:table",
+    "restore:snapshot_table",
     "restore:before_finish",
 )
 
@@ -96,6 +105,7 @@ class RecoveryMethod(Enum):
     """How a restore obtained its data."""
 
     SHARED_MEMORY = "shared_memory"
+    DISK_SNAPSHOT = "disk_snapshot"
     DISK = "disk"
 
 
@@ -112,6 +122,7 @@ class RestartReport:
     duration_seconds: float = 0.0
     segment_grows: int = 0
     fell_back_to_disk: bool = False
+    fell_back_to_legacy: bool = False
     peak_tracked_bytes: int = 0
     leaf_states: list[str] = field(default_factory=list)
 
@@ -151,6 +162,10 @@ class RestartEngine:
         during backup, a table's heap rematerialization during restore)
         against it before starting the copy, so concurrent engines on
         one machine queue instead of stacking their in-flight bytes.
+    disk_snapshot_tier:
+        Whether disk recovery may take the shm-format snapshot fast path
+        when every table's snapshot is trusted.  Disable to force legacy
+        row-format replay (benchmark baselines, paranoia mode).
     """
 
     def __init__(
@@ -164,11 +179,13 @@ class RestartEngine:
         size_estimator: Callable[[str, list], int] | None = None,
         fault_hook: Callable[[str], None] | None = None,
         budget: FootprintBudget | None = None,
+        disk_snapshot_tier: bool = True,
     ) -> None:
         self.leaf_id = str(leaf_id)
         self.namespace = namespace
         self.backup = backup
         self.layout_version = layout_version
+        self.disk_snapshot_tier = disk_snapshot_tier
         self.tracker = tracker or MemoryTracker()
         self.clock = clock or SystemClock()
         self.budget = budget
@@ -431,15 +448,11 @@ class RestartEngine:
             if not valid:
                 # "if valid bit is false: delete shared memory segments,
                 # recover from disk"
-                try:
-                    meta.unlink_all()
-                except (CorruptionError, LayoutVersionError):
-                    meta.unlink()
+                self._discard_shm_tracked(meta)
                 meta = None
                 use_memory = False
         if not use_memory:
-            leaf.transition(LeafRestoreState.DISK_RECOVERY)
-            self._recover_from_disk(leafmap, report)
+            self._recover_from_disk(leafmap, report, leaf)
             leaf.transition(LeafRestoreState.ALIVE)
             return self._finish_report(report, leaf, start)
         assert meta is not None
@@ -455,17 +468,50 @@ class RestartEngine:
             # Figure 5(b): MEMORY RECOVERY --exception--> DISK RECOVERY.
             # Any failure mid-copy (corruption, truncated segment, even a
             # programming error in the decode path) must route to disk.
-            leaf.transition(LeafRestoreState.DISK_RECOVERY)
-            try:
-                meta.unlink_all()
-            except Exception:
-                meta.unlink()
-            for table_name in list(leafmap.table_names):
-                leafmap.drop_table(table_name)
+            # Both the surviving segments and the partially-restored heap
+            # tables leave through the tracker, so the footprint numbers
+            # (and the shared machine-wide regions) return to baseline.
+            self._discard_shm_tracked(meta)
+            self._drop_restored_tables(leafmap)
             report = RestartReport(method=None, fell_back_to_disk=True)
-            self._recover_from_disk(leafmap, report)
+            self._recover_from_disk(leafmap, report, leaf)
         leaf.transition(LeafRestoreState.ALIVE)
         return self._finish_report(report, leaf, start)
+
+    def _discard_shm_tracked(self, meta: LeafMetadata) -> None:
+        """Unlink a leaf's shm state *through the tracker*.
+
+        The bare ``meta.unlink_all()`` frees the segments from the OS but
+        leaves the "shm" region (possibly shared machine-wide) charged
+        forever.  Here each table segment that still exists is freed from
+        the region before unlinking; the min() guard covers engines whose
+        tracker never charged these segments (fresh process, region empty).
+        """
+        try:
+            records = meta.records
+        except (CorruptionError, LayoutVersionError):
+            meta.unlink()
+            return
+        now = self.clock.now()
+        for record in records:
+            if not segment_exists(record.segment_name):
+                continue
+            segment = ShmSegment.attach(record.segment_name)
+            nbytes = segment.size
+            segment.unlink()
+            tracked = min(nbytes, self.tracker.in_region("shm"))
+            if tracked:
+                self.tracker.free("shm", tracked, at=now)
+        meta.unlink()
+
+    def _drop_restored_tables(self, leafmap: LeafMap) -> None:
+        """Drop partially-restored tables, returning their heap bytes."""
+        for table_name in list(leafmap.table_names):
+            table = leafmap.get_table(table_name)
+            nbytes = table.sealed_nbytes
+            if nbytes:
+                self._track_heap_free(nbytes)
+            leafmap.drop_table(table_name)
 
     def _restore_from_segments(
         self, meta: LeafMetadata, leafmap: LeafMap, report: RestartReport
@@ -486,6 +532,8 @@ class RestartEngine:
             # that double-presence against the machine-wide budget.
             if self.budget is not None:
                 self.budget.acquire(record.used_bytes)
+            segment: ShmSegment | None = None
+            pending = 0  # heap bytes tracked but not yet installed in a table
             try:
                 segment = ShmSegment.attach(record.segment_name)
                 table = leafmap.create_table(record.table_name)
@@ -498,6 +546,7 @@ class RestartEngine:
                         # segment to heap" — unpack() made fresh heap
                         # copies, one bulk bytes() per column.
                         self._track_heap_alloc(block.nbytes)
+                        pending += block.nbytes
                         blocks.append(block)
                         report.row_blocks += 1
                         report.rbc_copies += len(block.schema)
@@ -508,30 +557,111 @@ class RestartEngine:
                     # into the mmap would make close() fail.
                     view.release()
                 table.replace_blocks(blocks)
+                # Installed blocks are now the table's responsibility; the
+                # fallback cleanup frees them via the table's sealed bytes.
+                pending = 0
                 table.total_rows_ingested = record.rows_ingested
                 table.total_rows_expired = record.rows_expired
                 report.tables += 1
                 # "delete the table shared memory segment"
                 self.tracker.free("shm", segment.size, at=self.clock.now())
                 segment.unlink()
+            except Exception:
+                # Un-track blocks that were decoded but never installed,
+                # and drop the local attach so the mapping is not leaked
+                # to the fallback path.
+                if pending:
+                    self._track_heap_free(pending)
+                if segment is not None:
+                    segment.close()
+                raise
             finally:
                 if self.budget is not None:
                     self.budget.release(record.used_bytes)
             machine.transition(TableRestoreState.ALIVE)
             self._fault("restore:table")
 
-    def _recover_from_disk(self, leafmap: LeafMap, report: RestartReport) -> None:
+    def _recover_from_disk(
+        self, leafmap: LeafMap, report: RestartReport, leaf: LeafRestoreMachine
+    ) -> None:
+        """The disk side of the recovery ladder: snapshot tier, then legacy.
+
+        Owns the leaf-machine transitions for both disk rungs so the
+        report's state history records exactly which tiers ran.
+        """
         if self.backup is None:
             raise RecoveryError(
                 f"leaf {self.leaf_id}: no valid shared memory state and no "
                 "disk backup configured"
             )
+        if self._snapshot_tier_usable():
+            leaf.transition(LeafRestoreState.DISK_SNAPSHOT_RECOVERY)
+            try:
+                self._restore_from_snapshots(leafmap, report)
+                report.method = RecoveryMethod.DISK_SNAPSHOT
+                return
+            except Exception:
+                # Stale generation, torn file, layout mismatch, or any
+                # decode failure: the whole leaf routes down to legacy
+                # replay.  Whatever the snapshot tier installed leaves
+                # through the tracker first, so a half-trusted snapshot
+                # can never co-mingle with replayed state.
+                self._drop_restored_tables(leafmap)
+                report.tables = 0
+                report.row_blocks = 0
+                report.rbc_copies = 0
+                report.bytes_copied = 0
+                report.rows = 0
+                report.fell_back_to_legacy = True
+        leaf.transition(LeafRestoreState.DISK_RECOVERY)
         report.rows = recover_leafmap(self.backup, leafmap)
         report.tables = len(leafmap)
         report.row_blocks = sum(table.block_count for table in leafmap)
         for table in leafmap:
             self._track_heap_alloc(table.nbytes)
         report.method = RecoveryMethod.DISK
+
+    def _snapshot_tier_usable(self) -> bool:
+        """Pre-check before entering the snapshot tier at all.
+
+        The manifest must vouch for every table's snapshot, and this
+        build's declared layout version must be the one snapshot bodies
+        are written in — a build whose shm layout diverged must not
+        consume shm-format bytes from disk any more than from /dev/shm.
+        """
+        return (
+            self.disk_snapshot_tier
+            and self.layout_version == SHM_LAYOUT_VERSION
+            and self.backup is not None
+            and self.backup.snapshots_ready()
+        )
+
+    def _restore_from_snapshots(
+        self, leafmap: LeafMap, report: RestartReport
+    ) -> None:
+        """DISK_SNAPSHOT_RECOVERY: bulk-unpack every table's snapshot."""
+        assert self.backup is not None
+        for table_name, snap in iter_snapshot_tables(self.backup):
+            machine = TableRestoreMachine()
+            machine.transition(TableRestoreState.DISK_SNAPSHOT_RECOVERY)
+            table = leafmap.create_table(table_name)
+            table.replace_blocks(snap.blocks)
+            table.total_rows_ingested = snap.rows_ingested
+            table.total_rows_expired = snap.rows_expired
+            # "Any needed deletions are made after recovery" — expiry
+            # recorded after the snapshot was taken is re-applied here,
+            # before the blocks are charged to the heap.
+            cutoff = self.backup.expire_cutoff(table_name)
+            if cutoff:
+                table.expire_before(cutoff)
+            self._track_heap_alloc(table.sealed_nbytes)
+            report.tables += 1
+            report.row_blocks += table.block_count
+            report.rbc_copies += sum(len(block.schema) for block in table.blocks)
+            report.bytes_copied += table.sealed_nbytes
+            report.rows += table.row_count
+            machine.transition(TableRestoreState.ALIVE)
+            self._fault("restore:snapshot_table")
 
     def _finish_report(
         self, report: RestartReport, leaf: LeafRestoreMachine, start: float

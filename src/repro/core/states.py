@@ -10,6 +10,11 @@ Four machines:
 (b) leaf restore:  INIT → MEMORY_RECOVERY → ALIVE
                    INIT → DISK_RECOVERY → ALIVE       (memory recovery disabled)
                    MEMORY_RECOVERY → DISK_RECOVERY    (exception)
+    The recovery *ladder* adds a middle disk tier (Section 6: shm-format
+    snapshots on disk):
+                   INIT → DISK_SNAPSHOT_RECOVERY → ALIVE
+                   MEMORY_RECOVERY → DISK_SNAPSHOT_RECOVERY   (exception)
+                   DISK_SNAPSHOT_RECOVERY → DISK_RECOVERY     (stale/torn)
 (c) table backup:  ALIVE → PREPARE → COPY_TO_SHM → DONE
     (PREPARE rejects new requests, kills deletes in progress, waits for
     adds/queries in flight, flushes data to disk)
@@ -37,6 +42,7 @@ class LeafBackupState(Enum):
 class LeafRestoreState(Enum):
     INIT = "init"
     MEMORY_RECOVERY = "memory_recovery"
+    DISK_SNAPSHOT_RECOVERY = "disk_snapshot_recovery"
     DISK_RECOVERY = "disk_recovery"
     ALIVE = "alive"
 
@@ -51,6 +57,7 @@ class TableBackupState(Enum):
 class TableRestoreState(Enum):
     INIT = "init"
     MEMORY_RECOVERY = "memory_recovery"
+    DISK_SNAPSHOT_RECOVERY = "disk_snapshot_recovery"
     DISK_RECOVERY = "disk_recovery"
     ALIVE = "alive"
 
@@ -127,11 +134,17 @@ class LeafRestoreMachine(StateMachine[LeafRestoreState]):
             {
                 LeafRestoreState.INIT: {
                     LeafRestoreState.MEMORY_RECOVERY,
+                    LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # no shm state
                     LeafRestoreState.DISK_RECOVERY,  # memory recovery disabled
                 },
                 LeafRestoreState.MEMORY_RECOVERY: {
                     LeafRestoreState.ALIVE,
+                    LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # exception
                     LeafRestoreState.DISK_RECOVERY,  # exception
+                },
+                LeafRestoreState.DISK_SNAPSHOT_RECOVERY: {
+                    LeafRestoreState.ALIVE,
+                    LeafRestoreState.DISK_RECOVERY,  # stale/torn snapshot
                 },
                 LeafRestoreState.DISK_RECOVERY: {LeafRestoreState.ALIVE},
             },
@@ -163,9 +176,15 @@ class TableRestoreMachine(StateMachine[TableRestoreState]):
             {
                 TableRestoreState.INIT: {
                     TableRestoreState.MEMORY_RECOVERY,
+                    TableRestoreState.DISK_SNAPSHOT_RECOVERY,
                     TableRestoreState.DISK_RECOVERY,
                 },
                 TableRestoreState.MEMORY_RECOVERY: {
+                    TableRestoreState.ALIVE,
+                    TableRestoreState.DISK_SNAPSHOT_RECOVERY,
+                    TableRestoreState.DISK_RECOVERY,
+                },
+                TableRestoreState.DISK_SNAPSHOT_RECOVERY: {
                     TableRestoreState.ALIVE,
                     TableRestoreState.DISK_RECOVERY,
                 },

@@ -20,18 +20,31 @@ from repro.disk.format import (
     write_chunk,
     write_file_header,
 )
-from repro.disk.recovery import recover_leafmap, recover_table_rows
+from repro.disk.recovery import (
+    iter_snapshot_tables,
+    recover_leafmap,
+    recover_leafmap_snapshots,
+    recover_table_rows,
+)
 from repro.disk.shmformat import (
+    ShmSnapshot,
     read_table_shm_format,
+    read_table_snapshot,
+    recover_leafmap_shm_format,
     write_leafmap_shm_format,
     write_table_shm_format,
 )
 
 __all__ = [
     "DiskBackup",
+    "ShmSnapshot",
+    "iter_snapshot_tables",
     "read_table_chunks",
     "read_table_shm_format",
+    "read_table_snapshot",
     "recover_leafmap",
+    "recover_leafmap_shm_format",
+    "recover_leafmap_snapshots",
     "recover_table_rows",
     "write_chunk",
     "write_file_header",

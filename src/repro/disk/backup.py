@@ -9,13 +9,23 @@ accepts.
 
 On-disk state, inside one directory per leaf::
 
-    manifest.json           per-table watermarks (rows synced, expiry cutoff)
+    manifest.json           per-table watermarks (rows synced, expiry cutoff,
+                            sync/snapshot generations)
     <table>.scuba           legacy row-format file (append-only chunks)
+    snapshots/<table>.shmdisk   shm-format snapshot (Section 6 fast tier)
 
 The expiry cutoff is a manifest watermark rather than a file rewrite:
 recovery replays the chunks and drops rows whose timestamp is below the
 cutoff, mirroring how Scuba re-applies deletions after recovery
 ("Any needed deletions are made after recovery", Figure 5 caption).
+
+The snapshot side implements the paper's Section 6 plan: at a sync point
+whose table has no buffered rows, the table's sealed blocks are also
+written as one shm-format file, stamped with the sync *generation*.  A
+snapshot is trusted for recovery only when its generation equals the
+manifest's sync generation — any later sync (or a torn snapshot write,
+which leaves the previous generation on disk) makes it stale, and the
+recovery ladder routes that table down to legacy replay.
 """
 
 from __future__ import annotations
@@ -27,9 +37,11 @@ from pathlib import Path
 from repro.columnstore.leafmap import LeafMap
 from repro.columnstore.table import Table
 from repro.disk.format import write_chunk, write_file_header
+from repro.disk.shmformat import snapshot_filename, write_table_shm_format
 from repro.errors import RecoveryError
 
 _MANIFEST = "manifest.json"
+_SNAPSHOT_DIR = "snapshots"
 
 
 def _table_filename(name: str) -> str:
@@ -41,11 +53,13 @@ def _table_filename(name: str) -> str:
 
 
 class DiskBackup:
-    """Manages the legacy-format backup of one leaf's tables."""
+    """Manages the legacy-format backup (and shm-format snapshots) of one
+    leaf's tables."""
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, snapshots: bool = True) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshots_enabled = snapshots
         self._manifest: dict[str, dict[str, int]] = {}
         self._load_manifest()
 
@@ -63,19 +77,38 @@ class DiskBackup:
                 self._manifest = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError) as exc:
                 raise RecoveryError(f"unreadable backup manifest: {exc}") from exc
+            # Manifests written before the snapshot side existed lack the
+            # generation keys; zero means "no trusted snapshot".
+            for entry in self._manifest.values():
+                entry.setdefault("sync_gen", 0)
+                entry.setdefault("snapshot_gen", 0)
 
     def _save_manifest(self) -> None:
         tmp = self._manifest_path().with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._manifest, indent=1, sort_keys=True))
+        # fsync before the rename: the snapshot generation watermark must
+        # be durable, or a crash could leave a manifest that trusts a
+        # snapshot which no longer matches it.
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(self._manifest, indent=1, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self._manifest_path())
 
     def _entry(self, table_name: str) -> dict[str, int]:
         return self._manifest.setdefault(
-            table_name, {"synced_rows": 0, "expire_before": 0}
+            table_name,
+            {"synced_rows": 0, "expire_before": 0, "sync_gen": 0, "snapshot_gen": 0},
         )
 
     def table_file(self, table_name: str) -> Path:
         return self.directory / _table_filename(table_name)
+
+    @property
+    def snapshot_dir(self) -> Path:
+        return self.directory / _SNAPSHOT_DIR
+
+    def snapshot_path(self, table_name: str) -> Path:
+        return self.snapshot_dir / snapshot_filename(table_name)
 
     @property
     def table_names(self) -> list[str]:
@@ -87,48 +120,131 @@ class DiskBackup:
     def expire_cutoff(self, table_name: str) -> int:
         return self._manifest.get(table_name, {}).get("expire_before", 0)
 
+    def sync_generation(self, table_name: str) -> int:
+        """Monotone counter bumped whenever a table's synced state changes."""
+        return self._manifest.get(table_name, {}).get("sync_gen", 0)
+
+    def snapshot_generation(self, table_name: str) -> int:
+        """The sync generation the table's snapshot was taken at (0 = none)."""
+        return self._manifest.get(table_name, {}).get("snapshot_gen", 0)
+
+    def snapshot_valid(self, table_name: str) -> bool:
+        """Whether the table's snapshot may be trusted for recovery."""
+        gen = self.snapshot_generation(table_name)
+        return (
+            gen > 0
+            and gen == self.sync_generation(table_name)
+            and self.snapshot_path(table_name).exists()
+        )
+
+    def snapshots_ready(self) -> bool:
+        """Whether the snapshot recovery tier covers *every* backed-up table."""
+        if not self._manifest:
+            return False
+        return all(self.snapshot_valid(name) for name in self._manifest)
+
     # ------------------------------------------------------------------
     # Sync points
     # ------------------------------------------------------------------
 
-    def sync_table(self, table: Table) -> int:
+    def sync_table(self, table: Table, snapshot: bool | None = None) -> int:
         """Append every not-yet-synced row of ``table`` as one chunk.
 
         Returns the number of rows written.  Uses the table's monotone
         ingest/expiry counters to find the delta since the last sync, so
         repeated calls are idempotent when nothing changed.
+
+        When snapshots are enabled (``snapshot=None`` defers to the
+        backup-wide setting) and the table has no buffered rows, the sync
+        point also refreshes the table's shm-format snapshot so the next
+        restart can take the fast disk tier.  A sync with buffered rows
+        leaves the snapshot stale on purpose: the snapshot holds sealed
+        blocks only, so trusting it would drop the buffered rows that the
+        legacy chunks do contain.
         """
+        if snapshot is None:
+            snapshot = self.snapshots_enabled
         entry = self._entry(table.name)
         watermark = entry["synced_rows"]
         expired = table.total_rows_expired
         total = table.total_rows_ingested
         start = max(watermark, expired)
+        changed = False
+        written = 0
         if start >= total:
             # Rows may have expired past the watermark without new data.
             if expired > watermark:
                 entry["synced_rows"] = expired
-                self._save_manifest()
-            return 0
-        all_rows = table.to_rows()
-        new_rows = all_rows[start - expired :]
-        path = self.table_file(table.name)
-        is_new = not path.exists()
-        with open(path, "ab") as fh:
-            if is_new:
-                write_file_header(fh)
-            written = write_chunk(fh, new_rows)
-            fh.flush()
-            os.fsync(fh.fileno())
-        entry["synced_rows"] = total
-        self._save_manifest()
+                entry["sync_gen"] = entry.get("sync_gen", 0) + 1
+                changed = True
+        else:
+            all_rows = table.to_rows()
+            new_rows = all_rows[start - expired :]
+            path = self.table_file(table.name)
+            is_new = not path.exists()
+            with open(path, "ab") as fh:
+                if is_new:
+                    write_file_header(fh)
+                written = write_chunk(fh, new_rows)
+                fh.flush()
+                os.fsync(fh.fileno())
+            entry["synced_rows"] = total
+            entry["sync_gen"] = entry.get("sync_gen", 0) + 1
+            changed = True
+        if (
+            snapshot
+            and table.buffered_row_count == 0
+            and not self.snapshot_valid(table.name)
+        ):
+            self._write_snapshot(table, entry)
+            changed = True
+        if changed:
+            self._save_manifest()
         return written
+
+    def _write_snapshot(self, table: Table, entry: dict[str, int]) -> Path:
+        """Write the table's shm-format snapshot at the current generation.
+
+        The snapshot file lands (atomically, fsynced) *before* the
+        manifest records its generation: a crash between the two leaves a
+        file whose generation the manifest does not vouch for, which the
+        validity check routes down — never a trusted-but-wrong snapshot.
+        The caller saves the manifest.
+        """
+        gen = entry.get("sync_gen", 0)
+        if gen == 0:
+            # A table can reach a snapshot point without ever having had
+            # chunk-worthy rows (empty table); give it a real generation.
+            gen = 1
+            entry["sync_gen"] = gen
+        path = write_table_shm_format(
+            self.snapshot_dir,
+            table.name,
+            table.blocks,
+            generation=gen,
+            rows_ingested=table.total_rows_ingested - table.buffered_row_count,
+            rows_expired=table.total_rows_expired,
+        )
+        entry["snapshot_gen"] = gen
+        return path
+
+    def write_snapshot(self, table: Table) -> Path:
+        """Force-refresh one table's snapshot (tests / manual tooling)."""
+        entry = self._entry(table.name)
+        path = self._write_snapshot(table, entry)
+        self._save_manifest()
+        return path
 
     def sync_leafmap(self, leafmap: LeafMap) -> int:
         """Sync every table; returns total rows written."""
         return sum(self.sync_table(table) for table in leafmap)
 
     def record_expiry(self, table_name: str, cutoff_time: int) -> None:
-        """Advance a table's expiry watermark (never backwards)."""
+        """Advance a table's expiry watermark (never backwards).
+
+        Does not invalidate the snapshot: the cutoff is re-applied after
+        snapshot recovery, exactly as it is after legacy replay.
+        """
         entry = self._entry(table_name)
         if cutoff_time > entry["expire_before"]:
             entry["expire_before"] = cutoff_time
@@ -139,16 +255,27 @@ class DiskBackup:
     # ------------------------------------------------------------------
 
     def drop_table(self, table_name: str) -> None:
+        snapshot = self.snapshot_path(table_name)
         self._manifest.pop(table_name, None)
         self._save_manifest()
         path = self.table_file(table_name)
         if path.exists():
             path.unlink()
+        if snapshot.exists():
+            snapshot.unlink()
 
     def wipe(self) -> None:
         """Delete every backup file and the manifest (tests/teardown)."""
         for name in list(self._manifest):
             self.drop_table(name)
+        if self.snapshot_dir.exists():
+            for stray in self.snapshot_dir.iterdir():
+                if stray.suffix in (".shmdisk", ".tmp"):
+                    stray.unlink()
+            try:
+                self.snapshot_dir.rmdir()
+            except OSError:
+                pass
         if self._manifest_path().exists():
             self._manifest_path().unlink()
         self._manifest = {}

@@ -15,7 +15,8 @@ from typing import Callable, Iterator
 from repro.columnstore.leafmap import LeafMap
 from repro.disk.backup import DiskBackup
 from repro.disk.format import read_table_chunks
-from repro.errors import RecoveryError
+from repro.disk.shmformat import ShmSnapshot, read_table_snapshot
+from repro.errors import CorruptionError, RecoveryError, SnapshotStaleError
 from repro.types import TIME_COLUMN, ColumnValue
 
 
@@ -32,6 +33,73 @@ def recover_table_rows(
             for row in chunk_rows:
                 if row.get(TIME_COLUMN, 0) >= cutoff:
                     yield row
+
+
+def iter_snapshot_tables(backup: DiskBackup) -> Iterator[tuple[str, ShmSnapshot]]:
+    """Yield ``(table_name, snapshot)`` for every backed-up table, or raise.
+
+    This is the snapshot tier's validity gate: each table's snapshot must
+    exist, carry the generation the manifest vouches for, and decode
+    cleanly (CRC, layout version, name match).  Any failure raises —
+    :class:`SnapshotStaleError` for generation/missing-file problems,
+    :class:`CorruptionError`/:class:`LayoutVersionError` for torn or
+    incompatible files — and the caller routes the whole leaf down to
+    legacy replay.  Partial trust is deliberately impossible: mixing
+    tiers within one leaf would make the recovered-state provenance
+    unauditable.
+    """
+    for table_name in backup.table_names:
+        expected = backup.snapshot_generation(table_name)
+        if expected <= 0 or expected != backup.sync_generation(table_name):
+            raise SnapshotStaleError(
+                f"table '{table_name}': snapshot generation {expected} does not "
+                f"match sync generation {backup.sync_generation(table_name)}"
+            )
+        path = backup.snapshot_path(table_name)
+        if not path.exists():
+            raise SnapshotStaleError(f"table '{table_name}': snapshot file missing")
+        snap = read_table_snapshot(path)
+        if snap.generation != expected:
+            raise SnapshotStaleError(
+                f"table '{table_name}': snapshot file carries generation "
+                f"{snap.generation}; manifest expects {expected}"
+            )
+        if snap.table_name != table_name:
+            raise CorruptionError(
+                f"snapshot file for '{table_name}' decodes as table "
+                f"'{snap.table_name}'"
+            )
+        yield table_name, snap
+
+
+def recover_leafmap_snapshots(
+    backup: DiskBackup,
+    leafmap: LeafMap,
+    progress: Callable[[str, int], None] | None = None,
+) -> int:
+    """Rebuild every table from its shm-format snapshot; returns row count.
+
+    The fast disk tier: each table is a file read plus bulk
+    ``RowBlock.unpack`` — no row-by-row translation.  Watermarks are
+    restored from the snapshot and the manifest expiry cutoff is
+    re-applied ("any needed deletions are made after recovery"), so the
+    result is indistinguishable from a legacy replay of the same state.
+    """
+    if len(leafmap):
+        raise RecoveryError("disk recovery requires an empty leaf map")
+    total = 0
+    for table_name, snap in iter_snapshot_tables(backup):
+        table = leafmap.create_table(table_name)
+        table.replace_blocks(snap.blocks)
+        table.total_rows_ingested = snap.rows_ingested
+        table.total_rows_expired = snap.rows_expired
+        cutoff = backup.expire_cutoff(table_name)
+        if cutoff:
+            table.expire_before(cutoff)
+        total += table.row_count
+        if progress is not None:
+            progress(table_name, table.row_count)
+    return total
 
 
 def recover_leafmap(

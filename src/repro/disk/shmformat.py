@@ -9,24 +9,62 @@ as exactly the contiguous buffer that would go into its shared memory
 segment (header, schema, column offset table, raw RBC payloads).
 Recovery is then a read plus per-column buffer copies — no row-by-row
 re-translation — and experiment E12 measures the speedup.
+
+File layout::
+
+    u32 magic "SMDF"
+    u16 format version
+    u16 reserved
+    u32 crc32 of body
+    u64 body length
+    u64 snapshot generation   (matches the manifest's watermark when fresh)
+    u64 rows ingested         (table watermark at snapshot time)
+    u64 rows expired          (table watermark at snapshot time)
+    body = the exact table-segment bytes (Figure 4 preamble + packed blocks)
+
+The generation number and the two watermarks make a snapshot
+self-describing: the recovery ladder can check it against the backup
+manifest (stale → route down to legacy replay) and restore the table's
+monotone counters so post-recovery incremental syncs line up.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.columnstore.leafmap import LeafMap
 from repro.columnstore.rowblock import RowBlock
-from repro.columnstore.table import Table
-from repro.errors import CorruptionError
-from repro.shm.layout import iter_blocks_from_segment  # format reuse, not shm I/O
-from repro.util.binary import BufferReader, BufferWriter
+from repro.errors import CorruptionError, LayoutVersionError
+from repro.shm.layout import read_segment_header  # format reuse, not shm I/O
+from repro.util.binary import BufferWriter
 from repro.util.checksum import crc32_of, verify_crc32
 
 SHMDISK_MAGIC = 0x4644_4D53  # "SMDF"
-_FILE_HEADER = struct.Struct("<IIQ")  # magic, crc of body, body length
+#: Version of the snapshot *file envelope* (header below).  Independent of
+#: ``SHM_LAYOUT_VERSION``, which governs the body bytes and is validated by
+#: :func:`read_segment_header` when the body is parsed.
+SHMDISK_FORMAT_VERSION = 2
+_FILE_HEADER = struct.Struct("<IHHIQQQQ")
+# magic, format version, reserved, crc of body, body length,
+# snapshot generation, rows ingested, rows expired
+
+
+@dataclass(frozen=True)
+class ShmSnapshot:
+    """One table's shm-format disk snapshot, fully decoded."""
+
+    table_name: str
+    blocks: list[RowBlock]
+    generation: int
+    rows_ingested: int
+    rows_expired: int
+
+    @property
+    def row_count(self) -> int:
+        return sum(block.row_count for block in self.blocks)
 
 
 def _table_filename(name: str) -> str:
@@ -34,6 +72,11 @@ def _table_filename(name: str) -> str:
         ch if ch.isalnum() or ch in "-_." else f"%{ord(ch):02x}" for ch in name
     )
     return f"{safe}.shmdisk"
+
+
+def snapshot_filename(name: str) -> str:
+    """The filesystem-safe snapshot file name for a table."""
+    return _table_filename(name)
 
 
 def _pack_table(table_name: str, blocks: list[RowBlock]) -> bytes:
@@ -49,16 +92,40 @@ def _pack_table(table_name: str, blocks: list[RowBlock]) -> bytes:
 
 
 def write_table_shm_format(
-    directory: str | Path, table_name: str, blocks: list[RowBlock]
+    directory: str | Path,
+    table_name: str,
+    blocks: list[RowBlock],
+    *,
+    generation: int = 0,
+    rows_ingested: int | None = None,
+    rows_expired: int = 0,
 ) -> Path:
-    """Write one table's shm-format disk file; returns its path."""
+    """Write one table's shm-format disk file; returns its path.
+
+    The write is atomic (tmp + ``os.replace``) and fsynced, so a torn
+    write can only ever leave the *previous* snapshot in place — which
+    the generation check then routes around.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    if rows_ingested is None:
+        rows_ingested = rows_expired + sum(block.row_count for block in blocks)
     body = _pack_table(table_name, blocks)
     path = directory / _table_filename(table_name)
     tmp = path.with_suffix(".tmp")
     with open(tmp, "wb") as fh:
-        fh.write(_FILE_HEADER.pack(SHMDISK_MAGIC, crc32_of(body), len(body)))
+        fh.write(
+            _FILE_HEADER.pack(
+                SHMDISK_MAGIC,
+                SHMDISK_FORMAT_VERSION,
+                0,
+                crc32_of(body),
+                len(body),
+                generation,
+                rows_ingested,
+                rows_expired,
+            )
+        )
         fh.write(body)
         fh.flush()
         os.fsync(fh.fileno())
@@ -66,44 +133,101 @@ def write_table_shm_format(
     return path
 
 
-def write_leafmap_shm_format(directory: str | Path, leafmap: LeafMap) -> list[Path]:
-    """Snapshot every table of a leaf in the shm disk format."""
+def write_leafmap_shm_format(
+    directory: str | Path, leafmap: LeafMap, *, generation: int = 0
+) -> list[Path]:
+    """Snapshot every table of a leaf in the shm disk format.
+
+    Only sealed blocks are captured, so the embedded ingest watermark
+    excludes still-buffered rows: recovering the snapshot and re-syncing
+    must not skip them.
+    """
     return [
-        write_table_shm_format(directory, table.name, table.blocks)
+        write_table_shm_format(
+            directory,
+            table.name,
+            table.blocks,
+            generation=generation,
+            rows_ingested=table.total_rows_ingested - table.buffered_row_count,
+            rows_expired=table.total_rows_expired,
+        )
         for table in leafmap
     ]
 
 
-def read_table_shm_format(path: str | Path) -> tuple[str, list[RowBlock]]:
-    """Read one shm-format file back into heap row blocks."""
+def read_table_snapshot(path: str | Path) -> ShmSnapshot:
+    """Read and validate one shm-format file (CRC, versions, bounds).
+
+    Raises :class:`CorruptionError` for torn/truncated files and
+    :class:`LayoutVersionError` when either the file envelope or the
+    embedded segment layout was written by an incompatible build.
+    """
     raw = Path(path).read_bytes()
     if len(raw) < _FILE_HEADER.size:
         raise CorruptionError("shm-format disk file shorter than its header")
-    magic, crc, body_len = _FILE_HEADER.unpack(raw[: _FILE_HEADER.size])
+    (
+        magic,
+        version,
+        _,
+        crc,
+        body_len,
+        generation,
+        rows_ingested,
+        rows_expired,
+    ) = _FILE_HEADER.unpack(raw[: _FILE_HEADER.size])
     if magic != SHMDISK_MAGIC:
         raise CorruptionError(f"bad shm-format disk magic 0x{magic:08x}")
+    if version != SHMDISK_FORMAT_VERSION:
+        raise LayoutVersionError(
+            f"shm-format disk file version {version}; this build reads "
+            f"{SHMDISK_FORMAT_VERSION}"
+        )
     body = memoryview(raw)[_FILE_HEADER.size : _FILE_HEADER.size + body_len]
     if len(body) < body_len:
         raise CorruptionError("shm-format disk file truncated")
     verify_crc32(crc, body)
-    table_name = ""
-    blocks: list[RowBlock] = []
-    for table_name, block in iter_blocks_from_segment(body):
-        blocks.append(block)
-    if not blocks:
-        reader = BufferReader(body, offset=16)
-        table_name = reader.read_str()
-    return table_name, blocks
+    # The body is byte-identical to a table segment, so the shared
+    # preamble parser defines every offset — including the empty-table
+    # case — and validates the embedded layout version for free.
+    table_name, pairs = read_segment_header(body)
+    blocks = [RowBlock.unpack(body[offset : offset + size]) for offset, size in pairs]
+    return ShmSnapshot(
+        table_name=table_name,
+        blocks=blocks,
+        generation=generation,
+        rows_ingested=rows_ingested,
+        rows_expired=rows_expired,
+    )
 
 
-def recover_leafmap_shm_format(directory: str | Path, leafmap: LeafMap) -> int:
-    """Rebuild a leaf map from a directory of shm-format files."""
+def read_table_shm_format(path: str | Path) -> tuple[str, list[RowBlock]]:
+    """Read one shm-format file back into heap row blocks."""
+    snap = read_table_snapshot(path)
+    return snap.table_name, snap.blocks
+
+
+def recover_leafmap_shm_format(
+    directory: str | Path, leafmap: LeafMap, backup=None
+) -> int:
+    """Rebuild a leaf map from a directory of shm-format files.
+
+    Restores both monotone watermarks from each snapshot so subsequent
+    :meth:`DiskBackup.sync_table` deltas line up, and — when ``backup``
+    (any object with an ``expire_cutoff(name)`` method) is given —
+    re-applies the manifest expiry cutoff so rows expired after the
+    snapshot was taken do not resurrect.  Returns the rows present after
+    the cutoff.
+    """
     total = 0
     for path in sorted(Path(directory).glob("*.shmdisk")):
-        table_name, blocks = read_table_shm_format(path)
-        table = leafmap.get_or_create(table_name)
-        table.replace_blocks(blocks)
-        rows = sum(block.row_count for block in blocks)
-        table.total_rows_ingested = rows
-        total += rows
+        snap = read_table_snapshot(path)
+        table = leafmap.get_or_create(snap.table_name)
+        table.replace_blocks(snap.blocks)
+        table.total_rows_ingested = snap.rows_ingested
+        table.total_rows_expired = snap.rows_expired
+        if backup is not None:
+            cutoff = backup.expire_cutoff(snap.table_name)
+            if cutoff:
+                table.expire_before(cutoff)
+        total += table.row_count
     return total

@@ -53,6 +53,16 @@ class RecoveryError(ReproError):
     """A recovery path (shared memory or disk) failed irrecoverably."""
 
 
+class SnapshotStaleError(RecoveryError):
+    """A shm-format disk snapshot cannot be trusted for recovery.
+
+    Raised when a snapshot's generation number does not match the backup
+    manifest's watermark (the snapshot predates later sync points), or
+    when the snapshot file is missing entirely.  The recovery ladder
+    treats this as "route down to legacy replay", never as data loss.
+    """
+
+
 class ShutdownTimeout(ReproError):
     """A clean shutdown overran its deadline and was killed.
 

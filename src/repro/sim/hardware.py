@@ -56,6 +56,11 @@ class HardwareProfile:
     #: Effective cores available to concurrent translations on a machine.
     translate_cores: float = 4.0
 
+    # Snapshot-tier recovery: the disk file *is* the shm layout, so the
+    # "translate" step is a bulk per-column unpack — memory-ish speed,
+    # bounded by the same machine-wide copy ceiling as shm restores.
+    snapshot_unpack_gbps: float = 2.0
+
     # Memory: heap<->shared-memory copy bandwidth.  A single copy stream
     # is CPU/latency bound at ``mem_copy_gbps``; the machine's memory
     # controllers saturate at ``mem_total_gbps``, so concurrent streams
@@ -99,6 +104,21 @@ class HardwareProfile:
         share = min(1.0, self.translate_cores / concurrent)
         return nbytes / (self.translate_mbps * MB * share)
 
+    def snapshot_translate_seconds(self, nbytes: float, concurrent: int = 1) -> float:
+        """Bulk-unpack ``nbytes`` of shm-format disk bytes into the heap.
+
+        Replaces the row-by-row ``translate_seconds`` stage when the
+        snapshot tier runs: one bulk copy per row block column instead of
+        re-encoding every row, so throughput is set by memory bandwidth,
+        not by the CPU-bound translator.
+        """
+        if concurrent < 1:
+            raise ValueError("need at least one unpacker")
+        per_stream_gbps = min(
+            self.snapshot_unpack_gbps, self.mem_total_gbps / concurrent
+        )
+        return nbytes / (per_stream_gbps * GB)
+
     def mem_copy_seconds(self, nbytes: float, concurrent: int = 1) -> float:
         """One direction of a heap<->shm copy with ``m`` leaves copying.
 
@@ -135,6 +155,19 @@ class HardwareProfile:
         return (
             self.disk_read_seconds(nbytes, concurrent_on_machine)
             + self.translate_seconds(nbytes, concurrent_on_machine)
+            + self.process_restart_overhead_s
+        )
+
+    def disk_snapshot_restart_seconds(self, concurrent_on_machine: int = 1) -> float:
+        """One leaf's snapshot-tier disk recovery: read + bulk unpack.
+
+        Same disk contention as legacy recovery (the bytes still come off
+        the spindle), but the translate stage collapses to a near-copy.
+        """
+        nbytes = self.data_bytes_per_leaf
+        return (
+            self.disk_read_seconds(nbytes, concurrent_on_machine)
+            + self.snapshot_translate_seconds(nbytes, concurrent_on_machine)
             + self.process_restart_overhead_s
         )
 

@@ -50,6 +50,19 @@ def simulate_leaf_restart(
             copy_in_seconds=0.0,
             overhead_seconds=profile.process_restart_overhead_s,
         )
+    if method == "disk_snapshot":
+        # The §6 fast tier: the disk file is the shm layout, so the
+        # translate stage collapses to a bulk unpack.
+        return LeafRestartBreakdown(
+            method="disk_snapshot",
+            read_seconds=profile.disk_read_seconds(nbytes, concurrent_on_machine),
+            translate_seconds=profile.snapshot_translate_seconds(
+                nbytes, concurrent_on_machine
+            ),
+            copy_out_seconds=0.0,
+            copy_in_seconds=0.0,
+            overhead_seconds=profile.process_restart_overhead_s,
+        )
     if method == "shm":
         return LeafRestartBreakdown(
             method="shm",

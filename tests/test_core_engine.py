@@ -116,10 +116,29 @@ class TestDiskFallback:
         report = engine_for(shm_namespace, backup, clock).restore(
             restored, memory_recovery_enabled=False
         )
-        assert report.method is RecoveryMethod.DISK
-        assert report.leaf_states == ["init", "disk_recovery", "alive"]
+        # The sealed-and-synced state has a fresh snapshot, so the disk
+        # path takes the fast tier.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
+        assert report.leaf_states == ["init", "disk_snapshot_recovery", "alive"]
         # The untouched (still valid) shm state remains for a later boot.
         assert engine_for(shm_namespace, backup, clock).shm_state_valid()
+        engine_for(shm_namespace, backup, clock).discard_shm()
+
+    def test_memory_recovery_and_snapshot_tier_disabled_goes_to_legacy(
+        self, shm_namespace, backup, clock
+    ):
+        leafmap = make_leafmap(clock)
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        snapshot = leafmap.snapshot_rows()
+        engine_for(shm_namespace, backup, clock).backup_to_shm(leafmap)
+        restored = fresh_map(clock)
+        report = engine_for(
+            shm_namespace, backup, clock, disk_snapshot_tier=False
+        ).restore(restored, memory_recovery_enabled=False)
+        assert report.method is RecoveryMethod.DISK
+        assert report.leaf_states == ["init", "disk_recovery", "alive"]
+        assert restored.snapshot_rows() == snapshot
         engine_for(shm_namespace, backup, clock).discard_shm()
 
     def test_invalid_bit_forces_disk_and_cleans_segments(
@@ -133,7 +152,9 @@ class TestDiskFallback:
         meta.set_valid(False)
         meta.close()
         report = engine_for(shm_namespace, backup, clock).restore(fresh_map(clock))
-        assert report.method is RecoveryMethod.DISK
+        # The PREPARE-state sync left a fresh snapshot, so the invalid
+        # bit routes to the snapshot tier, not legacy replay.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert not engine.shm_state_exists()
 
     def test_layout_version_mismatch_forces_disk(self, shm_namespace, backup, clock):
@@ -204,7 +225,16 @@ class TestFaultInjection:
         report = RestartEngine(
             "0", namespace=namespace, backup=backup, clock=clock
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        # Never shared memory after a backup crash.  Which disk rung runs
+        # depends on how far the backup got: a crash before any PREPARE
+        # leaves the pre-crash sync (taken with a live buffer, so no
+        # snapshot); a crash after PREPARE left a fresh snapshot behind.
+        expected = {
+            "backup:start": RecoveryMethod.DISK,
+            "backup:table": RecoveryMethod.DISK_SNAPSHOT,
+            "backup:before_valid": RecoveryMethod.DISK_SNAPSHOT,
+        }
+        assert report.method is expected[point]
         assert restored.snapshot_rows() == snapshot
 
     def test_crash_at_restore_entry_leaves_shm_valid(
@@ -237,7 +267,14 @@ class TestFaultInjection:
 
     @pytest.mark.parametrize(
         "point",
-        [p for p in FAULT_POINTS if p.startswith("restore") and p != "restore:start"],
+        [
+            p
+            for p in FAULT_POINTS
+            # restore:start fires before shm is touched; restore:snapshot_table
+            # only fires on the disk ladder (covered in test_core_engine_tiers).
+            if p.startswith("restore")
+            and p not in ("restore:start", "restore:snapshot_table")
+        ],
     )
     def test_crash_during_restore_falls_back_to_disk(
         self, dirty_shm_namespace, backup, clock, point
@@ -259,7 +296,9 @@ class TestFaultInjection:
         report = RestartEngine(
             "0", namespace=namespace, backup=backup, clock=clock, fault_hook=hook
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        # The sync point left a fresh snapshot, so the fallback lands on
+        # the fast disk tier — with the same recovered rows.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert report.fell_back_to_disk
         assert restored.snapshot_rows() == snapshot
         assert not RestartEngine("0", namespace=namespace).shm_state_exists()
@@ -339,7 +378,8 @@ class TestDeadline:
         report = RestartEngine(
             "0", namespace=namespace, backup=backup, clock=clock
         ).restore(restored)
-        assert report.method is RecoveryMethod.DISK
+        # 200 rows seal evenly, so the pre-kill sync wrote a snapshot.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert restored.snapshot_rows() == snapshot
 
     def test_generous_deadline_passes(self, shm_namespace, backup, clock):

@@ -252,7 +252,7 @@ class TestFailureIsolation:
         assert fired, "the injected fault never fired"
         assert all(o.ok for o in outcomes), "no leaf may surface the failure"
         by_leaf = {o.leaf_id: o for o in outcomes}
-        assert by_leaf[victim.leaf_id].report.method is RecoveryMethod.DISK
+        assert by_leaf[victim.leaf_id].report.method is RecoveryMethod.DISK_SNAPSHOT
         assert by_leaf[victim.leaf_id].report.fell_back_to_disk
         for leaf in machine.leaves:
             if leaf is not victim:

@@ -23,9 +23,13 @@ LEGAL = {
     },
     LeafRestoreMachine: {
         (LeafRestoreState.INIT, LeafRestoreState.MEMORY_RECOVERY),
+        (LeafRestoreState.INIT, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.INIT, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.ALIVE),
+        (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.DISK_RECOVERY),
+        (LeafRestoreState.DISK_SNAPSHOT_RECOVERY, LeafRestoreState.ALIVE),
+        (LeafRestoreState.DISK_SNAPSHOT_RECOVERY, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.DISK_RECOVERY, LeafRestoreState.ALIVE),
     },
     TableBackupMachine: {
@@ -35,9 +39,13 @@ LEGAL = {
     },
     TableRestoreMachine: {
         (TableRestoreState.INIT, TableRestoreState.MEMORY_RECOVERY),
+        (TableRestoreState.INIT, TableRestoreState.DISK_SNAPSHOT_RECOVERY),
         (TableRestoreState.INIT, TableRestoreState.DISK_RECOVERY),
         (TableRestoreState.MEMORY_RECOVERY, TableRestoreState.ALIVE),
+        (TableRestoreState.MEMORY_RECOVERY, TableRestoreState.DISK_SNAPSHOT_RECOVERY),
         (TableRestoreState.MEMORY_RECOVERY, TableRestoreState.DISK_RECOVERY),
+        (TableRestoreState.DISK_SNAPSHOT_RECOVERY, TableRestoreState.ALIVE),
+        (TableRestoreState.DISK_SNAPSHOT_RECOVERY, TableRestoreState.DISK_RECOVERY),
         (TableRestoreState.DISK_RECOVERY, TableRestoreState.ALIVE),
     },
 }

@@ -118,3 +118,123 @@ class TestMaintenance:
         backup.sync_leafmap(leafmap)
         reopened = DiskBackup(backup.directory)
         assert reopened.synced_rows("events") == 30
+
+
+class TestSnapshots:
+    """The shm-format snapshot side of sync points (paper §6)."""
+
+    def test_sealed_sync_writes_fresh_snapshot(self, backup):
+        leafmap = make_map()
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        assert backup.snapshot_path("events").exists()
+        assert backup.snapshot_generation("events") == backup.sync_generation(
+            "events"
+        )
+        assert backup.snapshot_valid("events")
+        assert backup.snapshots_ready()
+
+    def test_buffered_sync_leaves_snapshot_stale(self, backup):
+        """A snapshot holds sealed blocks only; trusting one written with
+        buffered rows outstanding would drop those rows."""
+        leafmap = make_map()  # 30 rows seal evenly into 3 blocks...
+        leafmap.get_table("events").add_rows([{"time": 999}])  # ...plus 1 buffered
+        backup.sync_leafmap(leafmap)
+        assert not backup.snapshot_valid("events")
+        assert not backup.snapshots_ready()
+
+    def test_later_sync_invalidates_then_refreshes(self, backup):
+        leafmap = make_map()
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        gen_before = backup.snapshot_generation("events")
+        leafmap.get_table("events").add_rows([{"time": 500}])
+        backup.sync_leafmap(leafmap)  # buffered -> sync_gen moved past snapshot
+        assert backup.sync_generation("events") > backup.snapshot_generation(
+            "events"
+        )
+        assert not backup.snapshot_valid("events")
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        assert backup.snapshot_valid("events")
+        assert backup.snapshot_generation("events") > gen_before
+
+    def test_sync_gen_bumps_on_every_synced_change(self, backup):
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        gen = backup.sync_generation("events")
+        backup.sync_leafmap(leafmap)  # no change -> no bump
+        assert backup.sync_generation("events") == gen
+        leafmap.get_table("events").add_rows([{"time": 800}])
+        backup.sync_leafmap(leafmap)
+        assert backup.sync_generation("events") == gen + 1
+
+    def test_empty_table_gets_a_trusted_snapshot(self, backup):
+        leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        leafmap.get_or_create("bare")
+        backup.sync_leafmap(leafmap)
+        assert backup.snapshot_valid("bare")
+        assert backup.snapshots_ready()
+
+    def test_snapshots_can_be_disabled(self, tmp_path):
+        backup = DiskBackup(tmp_path / "nosnap", snapshots=False)
+        leafmap = make_map()
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        assert not backup.snapshot_path("events").exists()
+        assert not backup.snapshots_ready()
+
+    def test_record_expiry_keeps_snapshot_trusted(self, backup):
+        """Expiry is a manifest watermark re-applied after recovery; it
+        must not force a snapshot rewrite."""
+        leafmap = make_map()
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        backup.record_expiry("events", 110)
+        assert backup.snapshot_valid("events")
+
+    def test_drop_and_wipe_remove_snapshot_files(self, backup):
+        leafmap = make_map()
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        snapshot = backup.snapshot_path("events")
+        assert snapshot.exists()
+        backup.drop_table("events")
+        assert not snapshot.exists()
+        leafmap2 = make_map()
+        leafmap2.seal_all()
+        backup.sync_leafmap(leafmap2)
+        backup.wipe()
+        assert not backup.snapshot_dir.exists()
+
+    def test_old_manifest_without_generation_keys(self, backup):
+        """A manifest from a pre-snapshot build must read as 'no trusted
+        snapshot', never crash."""
+        leafmap = make_map()
+        backup.sync_leafmap(leafmap)
+        import json
+
+        manifest_path = backup.directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        for entry in manifest.values():
+            entry.pop("sync_gen", None)
+            entry.pop("snapshot_gen", None)
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = DiskBackup(backup.directory)
+        assert reopened.sync_generation("events") == 0
+        assert not reopened.snapshot_valid("events")
+        assert not reopened.snapshots_ready()
+        # And the next sealed sync upgrades it to a trusted snapshot.
+        leafmap.seal_all()
+        reopened.sync_leafmap(leafmap)
+        assert reopened.snapshots_ready()
+
+    def test_snapshot_state_survives_manager_restart(self, backup):
+        leafmap = make_map()
+        leafmap.seal_all()
+        backup.sync_leafmap(leafmap)
+        reopened = DiskBackup(backup.directory)
+        assert reopened.snapshots_ready()
+        assert reopened.snapshot_generation("events") == backup.snapshot_generation(
+            "events"
+        )

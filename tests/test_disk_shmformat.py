@@ -1,11 +1,15 @@
 """Tests for the shm-layout-on-disk format (paper §6 / experiment E12)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.columnstore.leafmap import LeafMap
 from repro.disk.shmformat import (
     read_table_shm_format,
+    read_table_snapshot,
     recover_leafmap_shm_format,
+    snapshot_filename,
     write_leafmap_shm_format,
     write_table_shm_format,
 )
@@ -46,7 +50,7 @@ class TestShmDiskFormat:
             tmp_path, "events", leafmap.get_table("events").blocks
         )
         raw = bytearray(path.read_bytes())
-        raw[40] ^= 0x01
+        raw[-1] ^= 0x01  # anywhere in the body; the envelope CRC covers it all
         path.write_bytes(bytes(raw))
         with pytest.raises(ChecksumMismatchError):
             read_table_shm_format(path)
@@ -76,3 +80,106 @@ class TestShmDiskFormat:
         path = write_table_shm_format(tmp_path, "bare", [])
         name, blocks = read_table_shm_format(path)
         assert name == "bare" and blocks == []
+
+
+class TestSnapshotEnvelope:
+    """Generation and watermark fields of the v2 envelope."""
+
+    def test_generation_and_watermarks_roundtrip(self, tmp_path):
+        leafmap = make_map()
+        blocks = leafmap.get_table("events").blocks
+        path = write_table_shm_format(
+            tmp_path,
+            "events",
+            blocks,
+            generation=7,
+            rows_ingested=400,
+            rows_expired=375,
+        )
+        snap = read_table_snapshot(path)
+        assert snap.table_name == "events"
+        assert snap.generation == 7
+        assert snap.rows_ingested == 400
+        assert snap.rows_expired == 375
+        assert snap.row_count == 25
+
+    def test_default_ingest_watermark_counts_block_rows(self, tmp_path):
+        leafmap = make_map()
+        blocks = leafmap.get_table("events").blocks
+        path = write_table_shm_format(tmp_path, "events", blocks, rows_expired=5)
+        snap = read_table_snapshot(path)
+        assert snap.rows_ingested == 5 + snap.row_count
+
+    def test_empty_table_keeps_watermarks(self, tmp_path):
+        """A fully-expired table snapshots to zero blocks but must not
+        lose its monotone counters."""
+        path = write_table_shm_format(
+            tmp_path, "drained", [], generation=3, rows_ingested=90, rows_expired=90
+        )
+        snap = read_table_snapshot(path)
+        assert snap.blocks == []
+        assert (snap.generation, snap.rows_ingested, snap.rows_expired) == (3, 90, 90)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        leafmap = make_map()
+        write_table_shm_format(tmp_path, "events", leafmap.get_table("events").blocks)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+ODD_NAMES = [
+    "dotted.table.name",
+    "trailing.",
+    "per%cent",
+    "spa ce",
+    "slash/inside",
+    "back\\slash",
+    "unicode-π漢字",
+    "colon:semi;",
+    "..",
+]
+
+
+class TestOddTableNames:
+    """The escape scheme must keep any table name filesystem-safe and
+    reversible — the name inside the file is authoritative."""
+
+    @pytest.mark.parametrize("name", ODD_NAMES)
+    def test_roundtrip_preserves_exact_name(self, tmp_path, name):
+        leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=10)
+        leafmap.get_or_create(name).add_rows({"time": i} for i in range(12))
+        leafmap.seal_all()
+        path = write_table_shm_format(
+            tmp_path, name, leafmap.get_table(name).blocks, generation=2
+        )
+        assert path.parent == tmp_path  # no surprise subdirectories
+        snap = read_table_snapshot(path)
+        assert snap.table_name == name
+        assert snap.row_count == 12
+
+    def test_escaping_is_injective(self):
+        """Names that could collide post-escape must not: '%' itself is
+        escaped, so the literal and escaped spellings stay distinct."""
+        assert snapshot_filename("a b") != snapshot_filename("a%20b")
+        assert snapshot_filename("x/y") != snapshot_filename("x%2fy")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.text(
+            alphabet="abz09-_. %/\\:πµ漢", min_size=1, max_size=24
+        ),
+        generation=st.integers(min_value=0, max_value=2**60),
+    )
+    def test_any_name_roundtrips(self, tmp_path_factory, name, generation):
+        directory = tmp_path_factory.mktemp("oddnames")
+        leafmap = LeafMap(clock=ManualClock(0.0), rows_per_block=8)
+        leafmap.get_or_create(name).add_rows({"time": i} for i in range(9))
+        leafmap.seal_all()
+        path = write_table_shm_format(
+            directory, name, leafmap.get_table(name).blocks, generation=generation
+        )
+        snap = read_table_snapshot(path)
+        assert snap.table_name == name
+        assert snap.generation == generation
+        assert [b.to_rows() for b in snap.blocks] == [
+            b.to_rows() for b in leafmap.get_table(name).blocks
+        ]

@@ -56,7 +56,8 @@ class TestLifecycle:
         leaf.add_rows("events", ROWS)
         assert leaf.shutdown(use_shm=False) is None
         reborn = make_leaf(shm_namespace, tmp_path, clock)
-        assert reborn.start().method is RecoveryMethod.DISK
+        # A clean shutdown seals and syncs, leaving a fresh snapshot.
+        assert reborn.start().method is RecoveryMethod.DISK_SNAPSHOT
         assert reborn.leafmap.row_count == 120
 
     def test_crash_loses_unsynced_rows(self, shm_namespace, tmp_path, clock):
@@ -69,7 +70,9 @@ class TestLifecycle:
         assert leaf.status is LeafStatus.DOWN
         reborn = make_leaf(shm_namespace, tmp_path, clock)
         report = reborn.start()
-        assert report.method is RecoveryMethod.DISK
+        # 100 rows sealed evenly at the sync point, so its snapshot is
+        # trusted; either disk rung would lose the same unsynced tail.
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert reborn.leafmap.row_count == 100  # the tail is gone
 
     def test_shutdown_requires_alive(self, shm_namespace, tmp_path, clock):
@@ -84,7 +87,7 @@ class TestLifecycle:
         leaf.shutdown(use_shm=True)
         reborn = make_leaf(shm_namespace, tmp_path, clock)
         report = reborn.start(memory_recovery_enabled=False)
-        assert report.method is RecoveryMethod.DISK
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
         assert reborn.leafmap.row_count == 120
         reborn.engine.discard_shm()  # stale-but-valid segments remain
 

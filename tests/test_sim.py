@@ -112,6 +112,33 @@ class TestHardwareCalibration:
         slow = paper_profile()
         assert fast.disk_restart_seconds(1) < slow.disk_restart_seconds(1) / 2
 
+    def test_snapshot_tier_sits_between_disk_and_shm(self):
+        """E12's modelled rung: much faster than legacy replay (no row
+        translation) but still slower than shared memory (the bytes come
+        off the spindle)."""
+        profile = paper_profile()
+        for k in (1, 8):
+            snap = simulate_leaf_restart(profile, "disk_snapshot", k).total_seconds
+            disk = simulate_leaf_restart(profile, "disk", k).total_seconds
+            shm = simulate_leaf_restart(profile, "shm", k).total_seconds
+            assert shm < snap < disk
+        # Uncontended (the E12 configuration) the translate stage is the
+        # bottleneck, so removing it buys the acceptance floor; at 8-wide
+        # the thrashing spindle dominates both rungs and only the
+        # ordering above survives.
+        solo_disk = simulate_leaf_restart(profile, "disk", 1).total_seconds
+        solo_snap = simulate_leaf_restart(profile, "disk_snapshot", 1).total_seconds
+        assert solo_disk / solo_snap >= 3
+
+    def test_snapshot_unpack_dominated_by_disk_read(self):
+        """With shm-format bytes on disk the translate stage collapses:
+        the remaining cost is essentially the read itself."""
+        profile = paper_profile()
+        breakdown = simulate_leaf_restart(profile, "disk_snapshot", 1)
+        assert breakdown.translate_seconds < breakdown.read_seconds / 10
+        legacy = simulate_leaf_restart(profile, "disk", 1)
+        assert legacy.translate_seconds > legacy.read_seconds
+
     def test_invalid_arguments(self):
         profile = paper_profile()
         with pytest.raises(ValueError):
@@ -120,6 +147,8 @@ class TestHardwareCalibration:
             profile.translate_seconds(1.0, 0)
         with pytest.raises(ValueError):
             profile.mem_copy_seconds(1.0, 0)
+        with pytest.raises(ValueError):
+            profile.snapshot_translate_seconds(1.0, 0)
         with pytest.raises(ValueError):
             simulate_leaf_restart(profile, "tape")
         with pytest.raises(ValueError):
