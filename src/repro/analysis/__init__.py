@@ -1,0 +1,48 @@
+"""reprolint — AST-based invariant verifier for the restart pipeline.
+
+Five checkers, one per invariant family the restart protocol depends
+on:
+
+================  ======  ==============================================
+checker           codes   invariant
+================  ======  ==============================================
+layout-drift      RL1xx   struct formats, magics, and offsets agree
+                          between writers and readers
+state-machine     RL2xx   every declared restart transition is reachable
+                          and every call site uses a declared edge
+guarded-by        RL3xx   lock-owning classes touch shared state only
+                          under the lock
+segment-lifecycle RL4xx   shm handles are released on every path,
+                          including exception edges
+fallback-routing  RL5xx   recovery tiers route failures to the next
+                          rung instead of swallowing them
+================  ======  ==============================================
+
+Run it as ``repro lint`` or ``python -m repro.cli lint``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.loader import SourceModule, load_files, load_modules
+from repro.analysis.runner import (
+    LintResult,
+    render_json,
+    render_text,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "SourceModule",
+    "load_files",
+    "load_modules",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "sort_findings",
+    "write_baseline",
+]

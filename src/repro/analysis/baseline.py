@@ -1,0 +1,147 @@
+"""Accepted-findings baseline for reprolint.
+
+A baseline lets the linter be adopted on a tree with intentional
+violations: each accepted finding is recorded with a one-line
+justification, new findings still fail the build, and entries that stop
+matching anything are reported as stale so the file cannot rot.
+
+File format (checked in at ``src/repro/analysis/baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"code": "RL302", "path": "src/repro/server/leaf.py",
+         "symbol": "LeafServer.is_alive:status",
+         "justification": "benign monitoring read; ..."}
+      ]
+    }
+
+Matching is by ``(code, path, symbol)`` — never line numbers — so the
+baseline survives unrelated edits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    code: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class BaselineMatch:
+    """The result of applying a baseline to a set of findings."""
+
+    new: list[Finding] = field(default_factory=list)
+    accepted: list[tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text())
+        if raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline version {raw.get('version')!r} is not readable "
+                f"(this build reads {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                code=e["code"],
+                path=e["path"],
+                symbol=e["symbol"],
+                justification=e.get("justification", ""),
+            )
+            for e in raw.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        ordered = sorted(self.entries, key=lambda e: e.key)
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_dict() for e in ordered],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, findings: list[Finding]) -> BaselineMatch:
+        """Split findings into new vs accepted; report unmatched entries.
+
+        A baseline entry may match several findings (two unguarded reads
+        of different lines can share a symbol only if a checker emits
+        them that way); every match consumes the entry's staleness, not
+        its acceptance.
+        """
+        by_key = {entry.key: entry for entry in self.entries}
+        matched: set[tuple[str, str, str]] = set()
+        result = BaselineMatch()
+        for finding in findings:
+            entry = by_key.get(finding.key)
+            if entry is None:
+                result.new.append(finding)
+            else:
+                matched.add(entry.key)
+                result.accepted.append((finding, entry))
+        result.stale = [e for e in self.entries if e.key not in matched]
+        return result
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: list[Finding],
+        justifications: dict[tuple[str, str, str], str] | None = None,
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """Build a baseline accepting ``findings``.
+
+        Justifications are taken (in priority order) from the explicit
+        mapping, from a previous baseline's matching entry, or default to
+        a TODO marker that reviewers are expected to replace.
+        """
+        justifications = justifications or {}
+        prior = {e.key: e.justification for e in (previous.entries if previous else [])}
+        entries = []
+        seen: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            if finding.key in seen:
+                continue
+            seen.add(finding.key)
+            note = justifications.get(
+                finding.key, prior.get(finding.key, "TODO: justify or fix")
+            )
+            entries.append(
+                BaselineEntry(
+                    code=finding.code,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    justification=note,
+                )
+            )
+        return cls(entries)

@@ -1,0 +1,20 @@
+"""Checker registry for reprolint.
+
+Each checker module exposes ``CHECKER`` (its display name) and
+``check(modules) -> list[Finding]``.  The registry maps name -> check
+function so the runner and the CLI ``--checker`` filter share one list.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import fallback, layout, lifecycle, locks, statemachine
+
+CHECKERS = {
+    layout.CHECKER: layout.check,
+    statemachine.CHECKER: statemachine.check,
+    locks.CHECKER: locks.check,
+    lifecycle.CHECKER: lifecycle.check,
+    fallback.CHECKER: fallback.check,
+}
+
+__all__ = ["CHECKERS", "fallback", "layout", "lifecycle", "locks", "statemachine"]

@@ -1,0 +1,221 @@
+"""RL5xx — recovery-ladder fallback routing checker.
+
+The whole point of the tiered restart (shm -> disk snapshot -> legacy
+replay) is that a failed rung *routes* to the next one; an ``except``
+that quietly swallows the error turns a recoverable restart into a
+silently empty leaf.  This checker looks at every broad exception
+handler in the recovery tiers and demands that it visibly does one of:
+
+- re-raise (bare ``raise`` or a typed ``repro.errors`` exception);
+- invoke the next rung (a call whose name mentions ``recover``,
+  ``restore``, ``fallback``, ``replay``, or ``wipe``);
+- record the reroute (a store to a ``fell_back*``/``fallback*``
+  attribute or variable);
+- bind the exception (``except X as exc``) *and* use it — logging or
+  wrapping the error is routing it to a human.
+
+Codes:
+
+- ``RL501`` broad handler (``except Exception``/bare ``except``) whose
+  body neither re-raises, reroutes, records, nor uses the exception.
+- ``RL502`` handler whose body is literally ``pass`` — even for narrow
+  exception types; intentional ones belong in the baseline with a
+  justification.
+- ``RL503`` a ``raise`` of a non-``repro.errors`` builtin exception
+  (``RuntimeError``/``ValueError``...) inside a recovery function —
+  callers dispatch the ladder on typed errors, so untyped raises skip
+  every rung below.
+
+Scope defaults to the recovery tiers (``core/`` and ``disk/``) — lock
+utilities legitimately swallow ``OSError`` during probing; the override
+parameter exists for fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.loader import SourceModule, call_name
+
+CHECKER = "fallback-routing"
+
+DEFAULT_SCOPE_PREFIXES = ("src/repro/core/", "src/repro/disk/")
+
+_ROUTING_CALL_HINTS = ("recover", "restore", "fallback", "replay", "wipe", "discard")
+_ROUTING_ATTR_HINTS = ("fell_back", "fallback", "degraded")
+
+#: builtin exception names whose raising inside a recovery function
+#: bypasses the typed-error ladder
+_UNTYPED_EXCEPTIONS = {
+    "RuntimeError",
+    "ValueError",
+    "Exception",
+    "OSError",
+    "IOError",
+    "KeyError",
+    "TypeError",
+}
+
+#: repro.errors types (kept in sync loosely — anything imported from
+#: repro.errors or ending in Error that is not a known builtin counts)
+_RECOVERY_FN_HINTS = ("recover", "restore", "fallback", "replay")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = _handler_type_names(handler)
+    return bool(names & {"Exception", "BaseException"})
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    if node is None:
+        return set()
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for n in nodes:
+        if isinstance(n, ast.Attribute):
+            names.add(n.attr)
+        elif isinstance(n, ast.Name):
+            names.add(n.id)
+    return names
+
+
+def _body_is_pass(handler: ast.ExceptHandler) -> bool:
+    return all(isinstance(s, ast.Pass) for s in handler.body)
+
+
+def _handler_routes(handler: ast.ExceptHandler) -> bool:
+    exc_name = handler.name  # "exc" in `except X as exc`
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = (call_name(node) or "").lower()
+            if any(hint in name for hint in _ROUTING_CALL_HINTS):
+                return True
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                label = (
+                    target.attr
+                    if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name) else ""
+                )
+                if any(hint in label.lower() for hint in _ROUTING_ATTR_HINTS):
+                    return True
+        if (
+            exc_name
+            and isinstance(node, ast.Name)
+            and node.id == exc_name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            # the bound exception is consumed (logged, wrapped, stored)
+            return True
+    return False
+
+
+def _enclosing_fn_name(node: ast.AST, module: SourceModule) -> str:
+    fn = module.enclosing_function(node)
+    return getattr(fn, "name", "<module>") if fn is not None else "<module>"
+
+
+def _in_recovery_function(node: ast.AST, module: SourceModule) -> bool:
+    name = _enclosing_fn_name(node, module).lower()
+    return any(hint in name for hint in _RECOVERY_FN_HINTS)
+
+
+def check(
+    modules: list[SourceModule],
+    scope_prefixes: Iterable[str] = DEFAULT_SCOPE_PREFIXES,
+) -> list[Finding]:
+    prefixes = tuple(scope_prefixes)
+    findings: list[Finding] = []
+    for module in modules:
+        if prefixes and not module.relpath.startswith(prefixes):
+            continue
+        findings.extend(_check_module(module))
+    return findings
+
+
+def _check_module(module: SourceModule) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler):
+            findings.extend(_check_handler(module, node))
+        if isinstance(node, ast.Raise):
+            finding = _check_raise(module, node)
+            if finding is not None:
+                findings.append(finding)
+    return findings
+
+
+def _check_handler(module: SourceModule, handler: ast.ExceptHandler) -> list[Finding]:
+    fn_name = _enclosing_fn_name(handler, module)
+    types = "|".join(sorted(_handler_type_names(handler))) or "bare"
+    symbol = f"{fn_name}:except:{types}"
+    if _body_is_pass(handler):
+        return [
+            Finding(
+                path=module.relpath,
+                line=handler.lineno,
+                code="RL502",
+                checker=CHECKER,
+                symbol=symbol,
+                message=(
+                    f"{fn_name} has a pass-only `except {types}` — the error "
+                    f"vanishes without a log, reroute, or re-raise"
+                ),
+            )
+        ]
+    if _is_broad(handler) and not _handler_routes(handler):
+        return [
+            Finding(
+                path=module.relpath,
+                line=handler.lineno,
+                code="RL501",
+                checker=CHECKER,
+                symbol=symbol,
+                message=(
+                    f"{fn_name} swallows a broad exception without re-raising, "
+                    f"invoking a fallback rung, or recording the reroute"
+                ),
+            )
+        ]
+    return []
+
+
+def _check_raise(module: SourceModule, node: ast.Raise) -> Finding | None:
+    if not _in_recovery_function(node, module):
+        return None
+    exc = node.exc
+    if exc is None:  # bare re-raise is always fine
+        return None
+    name = None
+    if isinstance(exc, ast.Call):
+        name = call_name(exc)
+    elif isinstance(exc, ast.Name):
+        name = exc.id
+    if name is None:
+        return None
+    terminal = name.rsplit(".", 1)[-1]
+    if terminal not in _UNTYPED_EXCEPTIONS:
+        return None
+    fn_name = _enclosing_fn_name(node, module)
+    return Finding(
+        path=module.relpath,
+        line=node.lineno,
+        code="RL503",
+        checker=CHECKER,
+        symbol=f"{fn_name}:raise:{terminal}",
+        message=(
+            f"{fn_name} raises builtin {terminal} inside a recovery tier — "
+            f"callers dispatch fallback on typed repro.errors exceptions, so "
+            f"this skips every rung below"
+        ),
+    )

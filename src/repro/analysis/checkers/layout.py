@@ -1,0 +1,391 @@
+"""RL1xx — layout-drift checker.
+
+The shm layout writer and the restore reader must agree byte-for-byte
+(paper, Section 4.2: the layout version exists *because* drift here is a
+data-corruption bug, not a style problem).  This checker reads every
+``struct.Struct`` definition and its pack/unpack call sites and flags
+the drift patterns that survive review most easily:
+
+- ``RL101`` a ``pack``/``pack_into`` call whose argument count disagrees
+  with the format's field count (a new header field added to the format
+  string but not to one of its writers).
+- ``RL102`` a tuple-unpacking assignment from ``unpack``/``unpack_from``
+  whose target count disagrees with the field count (the reader half of
+  the same drift).
+- ``RL103`` a raw integer literal equal to a named ``*MAGIC*`` constant
+  defined in the same module — comparisons must go through the name, or
+  renumbering the constant silently splits writer from reader.
+- ``RL104`` an integer literal equal to a module struct's computed
+  ``.size`` used as an offset/length — the PR 2 hardcoded-header-offset
+  bug: the literal stays behind when the format grows.
+- ``RL105`` a format struct with pack sites but no unpack sites (or the
+  reverse) across the scanned tree — a one-sided format is either dead
+  or read by code the linter (and the layout version) cannot vouch for.
+- ``RL106`` an ``*_OFFSET`` constant that does not land on a field
+  boundary of any struct in its module — the valid-bit offset class of
+  drift, where a format change moves a field but not the constant
+  pointing at it.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct as struct_mod
+
+from repro.analysis.findings import Finding
+from repro.analysis.loader import SourceModule, call_name, dotted_name, int_value
+
+CHECKER = "layout-drift"
+
+#: RL104 ignores small literals: 0/1/4/8 are everywhere, while real
+#: header sizes (16, 20, 24, 44...) are distinctive enough to flag.
+MIN_SIZE_LITERAL = 12
+
+#: RL103 only polices magic numbers (32-bit tags); version constants are
+#: small integers that collide with ordinary literals constantly.
+MIN_MAGIC_VALUE = 0x10000
+
+_PACK_METHODS = {"pack", "pack_into"}
+_UNPACK_METHODS = {"unpack", "unpack_from"}
+
+
+def _struct_field_count(fmt: str) -> int | None:
+    """How many values ``pack`` consumes for ``fmt`` (pads excluded)."""
+    try:
+        return len(struct_mod.unpack(fmt, b"\x00" * struct_mod.calcsize(fmt)))
+    except struct_mod.error:
+        return None
+
+
+def _format_boundaries(fmt: str) -> set[int]:
+    """Byte offsets that fall on a field boundary of ``fmt``."""
+    prefix = ""
+    body = fmt
+    if body and body[0] in "@=<>!":
+        prefix = body[0]
+        body = body[1:]
+    boundaries = {0}
+    # Walk the format one (count, code) token at a time so "7x" and "4s"
+    # advance as single units.
+    i = 0
+    consumed = ""
+    while i < len(body):
+        ch = body[i]
+        if ch.isdigit():
+            consumed += ch
+            i += 1
+            continue
+        consumed += ch
+        i += 1
+        try:
+            boundaries.add(struct_mod.calcsize(prefix + _normalize(consumed)))
+        except struct_mod.error:
+            return boundaries
+    return boundaries
+
+
+def _normalize(partial: str) -> str:
+    """Strip a trailing bare repeat count (incomplete token)."""
+    end = len(partial)
+    while end > 0 and partial[end - 1].isdigit():
+        end -= 1
+    return partial[:end]
+
+
+class _ModuleFacts:
+    """Everything RL1xx needs to know about one module."""
+
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.structs: dict[str, tuple[str, int, int, int]] = {}
+        # name -> (fmt, size, nfields, def_line)
+        self.magics: dict[str, tuple[int, int]] = {}  # name -> (value, line)
+        self.offsets: dict[str, tuple[int, int]] = {}  # name -> (value, line)
+        self.imports: dict[str, str] = {}  # local name -> source module
+        self._collect()
+
+    def _collect(self) -> None:
+        for node in self.module.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = node.module
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and call_name(value) in ("struct.Struct", "Struct")
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)
+            ):
+                fmt = value.args[0].value
+                try:
+                    size = struct_mod.calcsize(fmt)
+                except struct_mod.error:
+                    continue
+                nfields = _struct_field_count(fmt)
+                if nfields is not None:
+                    self.structs[name] = (fmt, size, nfields, node.lineno)
+            literal = int_value(value)
+            if literal is not None:
+                if "MAGIC" in name:
+                    self.magics[name] = (literal, node.lineno)
+                if "OFFSET" in name:
+                    self.offsets[name] = (literal, node.lineno)
+
+
+def check(modules: list[SourceModule]) -> list[Finding]:
+    facts = [_ModuleFacts(m) for m in modules]
+    findings: list[Finding] = []
+    for fact in facts:
+        findings.extend(_check_arity(fact))
+        findings.extend(_check_magic_literals(fact))
+        findings.extend(_check_size_literals(fact))
+        findings.extend(_check_offset_constants(fact))
+    findings.extend(_check_one_sided(facts))
+    return findings
+
+
+def _resolve_struct(fact: _ModuleFacts, name: str) -> tuple[str, tuple] | None:
+    """(defining relpath key, struct facts) for a local struct name."""
+    if name in fact.structs:
+        return fact.module.relpath, fact.structs[name]
+    return None
+
+
+def _struct_calls(fact: _ModuleFacts, methods: set[str]):
+    for node in ast.walk(fact.module.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in methods:
+            continue
+        owner = dotted_name(node.func.value)
+        if owner is None:
+            continue
+        # `X.pack(...)` and `self.X.pack(...)` both resolve to X.
+        base = owner.split(".")[-1]
+        yield base, node
+
+
+def _check_arity(fact: _ModuleFacts) -> list[Finding]:
+    findings = []
+    module = fact.module
+    for base, call in _struct_calls(fact, _PACK_METHODS | _UNPACK_METHODS):
+        resolved = _resolve_struct(fact, base)
+        if resolved is None:
+            continue
+        _, (fmt, _size, nfields, _line) = resolved
+        method = call.func.attr  # type: ignore[union-attr]
+        if method in _PACK_METHODS:
+            supplied = len(call.args)
+            if method == "pack_into":
+                supplied -= 2  # buffer, offset
+            if any(isinstance(a, ast.Starred) for a in call.args):
+                continue  # not statically countable
+            if supplied != nfields:
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=call.lineno,
+                        code="RL101",
+                        checker=CHECKER,
+                        symbol=f"{base}.{method}",
+                        message=(
+                            f"{base}.{method} packs {supplied} values but format "
+                            f"{fmt!r} has {nfields} fields"
+                        ),
+                    )
+                )
+        else:
+            parent = module.parent(call)
+            targets: list[ast.expr] = []
+            if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+                targets = [parent.targets[0]]
+            elif isinstance(parent, (ast.Tuple, ast.List)):
+                continue  # value inside a display, not an unpack assignment
+            if targets and isinstance(targets[0], (ast.Tuple, ast.List)):
+                count = len(targets[0].elts)
+                if any(isinstance(e, ast.Starred) for e in targets[0].elts):
+                    continue
+                if count != nfields:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=call.lineno,
+                            code="RL102",
+                            checker=CHECKER,
+                            symbol=f"{base}.{method}",
+                            message=(
+                                f"{base}.{method} unpacks into {count} names but "
+                                f"format {fmt!r} has {nfields} fields"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _check_magic_literals(fact: _ModuleFacts) -> list[Finding]:
+    findings = []
+    module = fact.module
+    by_value = {
+        value: name
+        for name, (value, _line) in fact.magics.items()
+        if value >= MIN_MAGIC_VALUE
+    }
+    if not by_value:
+        return findings
+    def_lines = {line for _v, line in fact.magics.values()}
+    for node in ast.walk(module.tree):
+        value = int_value(node)
+        if value is None or value not in by_value:
+            continue
+        if node.lineno in def_lines:
+            continue  # the constant's own definition
+        name = by_value[value]
+        findings.append(
+            Finding(
+                path=module.relpath,
+                line=node.lineno,
+                code="RL103",
+                checker=CHECKER,
+                symbol=f"{name}:0x{value:x}",
+                message=(
+                    f"raw literal 0x{value:x} duplicates constant {name}; "
+                    f"use the name so renumbering cannot split writer from reader"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_size_literals(fact: _ModuleFacts) -> list[Finding]:
+    findings = []
+    module = fact.module
+    by_size: dict[int, str] = {}
+    for name, (_fmt, size, _n, _line) in fact.structs.items():
+        if size >= MIN_SIZE_LITERAL:
+            by_size[size] = name
+    if not by_size:
+        return findings
+    struct_lines = {line for _f, _s, _n, line in fact.structs.values()}
+    for node in ast.walk(module.tree):
+        value = int_value(node)
+        if value is None or value not in by_size:
+            continue
+        if node.lineno in struct_lines:
+            continue
+        parent = module.parent(node)
+        # Only offsets/lengths in use: call arguments and slice positions.
+        in_call = isinstance(parent, ast.Call) and node in parent.args
+        in_slice = isinstance(parent, (ast.Slice, ast.Subscript)) or (
+            isinstance(parent, ast.BinOp)
+            and isinstance(module.parent(parent), (ast.Slice, ast.Subscript))
+        )
+        if not (in_call or in_slice):
+            continue
+        name = by_size[value]
+        findings.append(
+            Finding(
+                path=module.relpath,
+                line=node.lineno,
+                code="RL104",
+                checker=CHECKER,
+                symbol=f"{name}:size{value}",
+                message=(
+                    f"literal {value} equals {name}.size; write {name}.size so "
+                    f"the offset tracks the format"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_offset_constants(fact: _ModuleFacts) -> list[Finding]:
+    findings = []
+    if not fact.structs:
+        return findings
+    boundary_sets = [
+        _format_boundaries(fmt) for fmt, _s, _n, _l in fact.structs.values()
+    ]
+    for name, (value, line) in fact.offsets.items():
+        if any(value in bounds for bounds in boundary_sets):
+            continue
+        fmts = ", ".join(repr(f) for f, _s, _n, _l in fact.structs.values())
+        findings.append(
+            Finding(
+                path=fact.module.relpath,
+                line=line,
+                code="RL106",
+                checker=CHECKER,
+                symbol=name,
+                message=(
+                    f"{name} = {value} is not a field boundary of any module "
+                    f"struct ({fmts}); the format moved without it"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_one_sided(facts: list[_ModuleFacts]) -> list[Finding]:
+    """Every format struct needs both a writer and a reader in-tree."""
+    packed: set[tuple[str, str]] = set()
+    unpacked: set[tuple[str, str]] = set()
+    for fact in facts:
+        for base, call in _struct_calls(fact, _PACK_METHODS | _UNPACK_METHODS):
+            key = _defining_key(fact, facts, base)
+            if key is None:
+                continue
+            if call.func.attr in _PACK_METHODS:  # type: ignore[union-attr]
+                packed.add(key)
+            else:
+                unpacked.add(key)
+    findings = []
+    for fact in facts:
+        for name, (fmt, _size, _n, line) in fact.structs.items():
+            key = (fact.module.relpath, name)
+            has_pack, has_unpack = key in packed, key in unpacked
+            if has_pack and has_unpack:
+                continue
+            if not has_pack and not has_unpack:
+                side = "no pack or unpack sites"
+            elif has_pack:
+                side = "pack sites but no unpack sites"
+            else:
+                side = "unpack sites but no pack sites"
+            findings.append(
+                Finding(
+                    path=fact.module.relpath,
+                    line=line,
+                    code="RL105",
+                    checker=CHECKER,
+                    symbol=name,
+                    message=(
+                        f"format struct {name} ({fmt!r}) has {side} in the "
+                        f"scanned tree; a one-sided format is drift waiting to land"
+                    ),
+                )
+            )
+    return findings
+
+
+def _defining_key(
+    fact: _ModuleFacts, facts: list[_ModuleFacts], base: str
+) -> tuple[str, str] | None:
+    if base in fact.structs:
+        return (fact.module.relpath, base)
+    source = fact.imports.get(base)
+    if source is None:
+        return None
+    # Resolve `from repro.shm.layout import X` to the scanned module that
+    # defines X, matching on the dotted module suffix.
+    suffix = source.replace(".", "/") + ".py"
+    for other in facts:
+        if other.module.relpath.endswith(suffix) and base in other.structs:
+            return (other.module.relpath, base)
+    return None

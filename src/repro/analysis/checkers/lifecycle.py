@@ -1,0 +1,377 @@
+"""RL4xx — shared-memory segment lifecycle checker.
+
+Shared memory outlives the process that created it: a leaked attach is
+not garbage-collected at exit, it squats in ``/dev/shm`` until someone
+unlinks it — which is how PR 2's leaked-attach-on-fallback bug ate the
+restore budget.  This checker tracks every acquisition of a segment
+handle through a function body and verifies it is released on every
+path, including the exception edges.
+
+Acquisitions: ``ShmSegment.create/attach``, ``LeafMetadata.create/
+attach``, ``shared_memory.SharedMemory(...)``, ``open(...)``.
+Releases: ``.close()``, ``.unlink()``, ``.unlink_all()``.
+
+Codes:
+
+- ``RL401`` a handle acquired and never released on the normal path.
+- ``RL402`` a handle released on the normal path but leaked if an
+  exception fires between the acquire and the release.
+
+A handle is considered safe when any of these hold:
+
+- acquired in a ``with`` statement (context manager owns it);
+- released in a chained call (``X.attach(n).unlink()``);
+- ownership escapes: the handle is returned, yielded, stored on
+  ``self``/an object, put in a container, or passed to another call —
+  release is then the new owner's job;
+- a ``finally`` block of an enclosing/sibling ``try`` releases it;
+- an ``except`` handler of the enclosing ``try`` releases it *and*
+  the normal path also releases it (the engine's attach-then-guard
+  idiom).  When the acquire is the **only** statement in the ``try``
+  body nothing can fire between acquire and handler, so the handler
+  need not release (``segment_exists`` idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.loader import SourceModule, dotted_name
+
+CHECKER = "segment-lifecycle"
+
+#: call-name suffixes that hand back a resource handle
+_ACQUIRE_SUFFIXES = (
+    "ShmSegment.create",
+    "ShmSegment.attach",
+    "LeafMetadata.create",
+    "LeafMetadata.attach",
+    "SharedMemory",
+)
+_ACQUIRE_EXACT = {"open"}
+_RELEASE_METHODS = {"close", "unlink", "unlink_all"}
+
+
+def _is_acquire(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    if name in _ACQUIRE_EXACT:
+        return True
+    return any(
+        name == suffix or name.endswith("." + suffix) for suffix in _ACQUIRE_SUFFIXES
+    )
+
+
+@dataclass
+class _Acquire:
+    call: ast.Call
+    var: str | None  # the local name bound, None when unbound/complex
+    stmt: ast.stmt  # the statement performing the acquire
+    api: str
+
+
+def _function_acquires(fn: ast.AST, module: SourceModule) -> list[_Acquire]:
+    out: list[_Acquire] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call) or not _is_acquire(node):
+            continue
+        if module.enclosing_function(node) is not fn:
+            continue
+        stmt = _enclosing_stmt(node, module)
+        if stmt is None:
+            continue
+        var: str | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and _value_is(stmt.value, node):
+                var = target.id
+        out.append(
+            _Acquire(call=node, var=var, stmt=stmt, api=dotted_name(node.func) or "?")
+        )
+    return out
+
+
+def _value_is(value: ast.AST, call: ast.Call) -> bool:
+    """Whether ``value`` is the call itself (possibly via no wrapping)."""
+    return value is call
+
+
+def _enclosing_stmt(node: ast.AST, module: SourceModule) -> ast.stmt | None:
+    current: ast.AST | None = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = module.parent(current)
+    return current if isinstance(current, ast.stmt) else None
+
+
+def _in_with_item(call: ast.Call, module: SourceModule) -> bool:
+    parent = module.parent(call)
+    return isinstance(parent, ast.withitem) and parent.context_expr is call
+
+
+def _chained_release(call: ast.Call, module: SourceModule) -> bool:
+    """``ShmSegment.attach(n).unlink()`` — released in the same expression."""
+    parent = module.parent(call)
+    if isinstance(parent, ast.Attribute) and parent.attr in _RELEASE_METHODS:
+        grand = module.parent(parent)
+        return isinstance(grand, ast.Call) and grand.func is parent
+    return False
+
+
+def _ownership_escapes(acq: _Acquire, fn: ast.AST, module: SourceModule) -> bool:
+    """The handle leaves the function's custody."""
+    call, var = acq.call, acq.var
+    parent = module.parent(call)
+    # unbound forms: returned / yielded / stored / passed directly
+    if isinstance(parent, (ast.Return, ast.Yield, ast.Await)):
+        return True
+    if isinstance(parent, ast.Call) and call in parent.args:
+        return True
+    if isinstance(parent, ast.keyword):
+        return True
+    if isinstance(parent, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(parent, ast.Assign):
+        for target in parent.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                return True
+    if var is None:
+        return False
+    # bound forms: any later use of the name that transfers ownership
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Name) or node.id != var:
+            continue
+        if not isinstance(node.ctx, ast.Load):
+            continue
+        use_parent = module.parent(node)
+        if isinstance(use_parent, (ast.Return, ast.Yield)):
+            return True
+        # Passing the bound handle to a *constructor* (``cls(raw)``,
+        # ``TableSegmentWriter(segment, ...)``) wraps it — the wrapper
+        # owns it now.  Passing it to an ordinary function is borrowing:
+        # the caller still owns it and must release (this is exactly how
+        # the PR 2 leak looked: attached, iterated, never closed on
+        # raise), so lowercase callees do NOT transfer ownership.
+        if (
+            isinstance(use_parent, ast.Call)
+            and node in list(use_parent.args) + [kw.value for kw in use_parent.keywords]
+            and _is_constructor_call(use_parent)
+        ):
+            return True
+        if isinstance(use_parent, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(use_parent, ast.Assign):
+            # rebinding elsewhere: conservatively treat attribute stores
+            # of the handle as ownership transfer
+            for target in use_parent.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True
+    return False
+
+
+def _is_constructor_call(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    terminal = name.rsplit(".", 1)[-1]
+    return terminal == "cls" or (terminal[:1].isupper() and terminal.isidentifier())
+
+
+def _releases_var(tree_part: list[ast.stmt] | ast.stmt, var: str) -> bool:
+    nodes = tree_part if isinstance(tree_part, list) else [tree_part]
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RELEASE_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == var
+            ):
+                return True
+    return False
+
+
+def _normal_path_releases(acq: _Acquire, fn: ast.AST) -> bool:
+    if acq.var is None:
+        return False
+    # any release anywhere in the function counts as a normal-path
+    # release; path sensitivity beyond try/except is out of scope
+    return _releases_var(list(getattr(fn, "body", [])), acq.var)
+
+
+def _handler_guard(acq: _Acquire, fn: ast.AST, module: SourceModule) -> str:
+    """Classify exception-edge coverage for a bound acquire.
+
+    Returns one of ``"covered"``, ``"leak"``, ``"no-try"``.
+    """
+    var = acq.var
+    assert var is not None
+    enclosing_tries = [
+        t for t in module.ancestors(acq.stmt) if isinstance(t, ast.Try)
+    ]
+    if not enclosing_tries:
+        return "no-try"
+    trynode = enclosing_tries[0]
+    in_final = any(acq.stmt in _flat(part) for part in [trynode.finalbody])
+    if in_final:
+        # acquired inside finally: treat as no-try for this level
+        return "no-try"
+    # finally releasing covers everything
+    if trynode.finalbody and _releases_var(trynode.finalbody, var):
+        return "covered"
+    in_body = acq.stmt in _flat(trynode.body)
+    if in_body:
+        # nothing can fire after the acquire if it is the last risky
+        # statement — approximate: acquire is the only statement
+        if len(trynode.body) == 1:
+            return "covered"
+        # statements follow the acquire inside the try: a handler must
+        # release (or re-raise cleanup happens elsewhere)
+        handlers_release = all(
+            _releases_var(h.body, var) or _handler_only_raises(h)
+            for h in trynode.handlers
+        )
+        return "covered" if handlers_release and trynode.handlers else "leak"
+    # acquired in a handler/orelse: no exception edge at this level
+    return "no-try"
+
+
+def _handler_only_raises(handler: ast.ExceptHandler) -> bool:
+    return len(handler.body) == 1 and isinstance(handler.body[0], ast.Raise)
+
+
+def _flat(stmts: list[ast.stmt]) -> list[ast.stmt]:
+    out = []
+    for s in stmts:
+        out.append(s)
+        for sub in ast.walk(s):
+            if isinstance(sub, ast.stmt):
+                out.append(sub)
+    return out
+
+
+def _sibling_try_covers(acq: _Acquire, module: SourceModule) -> bool:
+    """Acquire followed by a ``try`` that guarantees release.
+
+    The engine's shutdown idiom::
+
+        meta = LeafMetadata.create(...)
+        records = []            # call-free glue only
+        try:
+            ... the risky work ...
+        finally:
+            meta.close()
+
+    covers the exception edge as long as nothing between the acquire and
+    the ``try`` can raise — approximated as the glue statements
+    containing no calls.  A ``try`` whose every handler releases the
+    handle (or is re-raise-only) counts too.
+    """
+    if acq.var is None:
+        return False
+    parent = module.parent(acq.stmt)
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field_name, None)
+        if not (isinstance(block, list) and acq.stmt in block):
+            continue
+        rest = block[block.index(acq.stmt) + 1 :]
+        for stmt in rest:
+            if isinstance(stmt, ast.Try):
+                if stmt.finalbody and _releases_var(stmt.finalbody, acq.var):
+                    return True
+                if stmt.handlers and all(
+                    _releases_var(h.body, acq.var) or _handler_only_raises(h)
+                    for h in stmt.handlers
+                ):
+                    return True
+                return False
+            if any(isinstance(n, ast.Call) for n in ast.walk(stmt)):
+                return False
+        return False
+    return False
+
+
+def _risky_statements_follow(acq: _Acquire, fn: ast.AST, module: SourceModule) -> bool:
+    """Whether any statement at all executes after the acquire before the
+    release — if the release is the next statement and nothing can fail
+    in between, the exception edge is vacuous.  Approximated as: the
+    statement immediately following the acquire in the same block
+    releases the var."""
+    parent = module.parent(acq.stmt)
+    for field_name in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field_name, None)
+        if isinstance(block, list) and acq.stmt in block:
+            idx = block.index(acq.stmt)
+            rest = block[idx + 1 :]
+            if not rest:
+                return False
+            if acq.var is not None and _releases_var(rest[0], acq.var):
+                return False
+            return True
+    return True
+
+
+def check(modules: list[SourceModule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            findings.extend(_check_function(module, fn))
+    return findings
+
+
+def _check_function(module: SourceModule, fn: ast.AST) -> list[Finding]:
+    findings: list[Finding] = []
+    fn_name = getattr(fn, "name", "?")
+    for acq in _function_acquires(fn, module):
+        if _in_with_item(acq.call, module):
+            continue
+        if _chained_release(acq.call, module):
+            continue
+        if _ownership_escapes(acq, fn, module):
+            continue
+        symbol = f"{fn_name}:{acq.api}"
+        if not _normal_path_releases(acq, fn):
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=acq.call.lineno,
+                    code="RL401",
+                    checker=CHECKER,
+                    symbol=symbol,
+                    message=(
+                        f"{fn_name} acquires a handle via {acq.api} but never "
+                        f"releases it (no close/unlink on any path)"
+                    ),
+                )
+            )
+            continue
+        if acq.var is None:
+            continue
+        guard = _handler_guard(acq, fn, module)
+        if guard == "covered":
+            continue
+        if guard == "no-try" and _sibling_try_covers(acq, module):
+            continue
+        if guard == "no-try" and not _risky_statements_follow(acq, fn, module):
+            continue
+        findings.append(
+            Finding(
+                path=module.relpath,
+                line=acq.call.lineno,
+                code="RL402",
+                checker=CHECKER,
+                symbol=symbol,
+                message=(
+                    f"{fn_name} leaks the {acq.api} handle on the exception "
+                    f"edge: released on the normal path but no with-block, "
+                    f"finally, or handler release covers a raise before "
+                    f"`{acq.var}.close()`"
+                ),
+            )
+        )
+    return findings

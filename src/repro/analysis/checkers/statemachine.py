@@ -1,0 +1,488 @@
+"""RL2xx — state-machine coverage checker.
+
+``core/states.py`` declares the Figure-5 transition tables; the engine
+and the leaf server are supposed to *drive* them.  Drift shows up as
+tables that promise edges nothing exercises (dead protocol surface) or
+call sites that assume edges the table never granted (a guaranteed
+``StateError`` at runtime).  Four checks:
+
+- ``RL201`` a declared target state never passed to ``transition()``
+  anywhere in the scanned tree — the state is unreachable in practice.
+- ``RL202`` a ``transition()`` call site whose state is not a target of
+  any declared edge — it can only ever raise ``StateError``.
+- ``RL203`` a structural hole in the table itself: a non-terminal state
+  with no outgoing edges, or a state from which no terminal state is
+  reachable — a failure path that cannot route to rest.
+- ``RL204`` a declared edge never exercised by any statically-visible
+  call sequence.
+
+RL204 runs a small abstract interpretation over each function: machine
+variables constructed locally are tracked precisely through branches,
+loops and try/except; variables that cross a call boundary (passed as an
+argument, or received as an annotated parameter) degrade to "any state",
+which marks every declared edge into the transitioned-to state.  The
+approximation is deliberately one-sided — it can miss an unexercised
+edge, never invent one exercised.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.loader import SourceModule, dotted_name
+
+CHECKER = "state-machine"
+
+#: Abstract "any state" — a machine that crossed a call boundary.
+TOP = "*"
+
+
+@dataclass
+class MachineTable:
+    name: str
+    relpath: str
+    line: int
+    enum: str
+    initial: str
+    transitions: dict[str, set[str]] = field(default_factory=dict)
+    terminal: set[str] = field(default_factory=set)
+
+    @property
+    def states(self) -> set[str]:
+        states = {self.initial} | self.terminal | set(self.transitions)
+        for targets in self.transitions.values():
+            states |= targets
+        return states
+
+    @property
+    def targets(self) -> set[str]:
+        out: set[str] = set()
+        for targets in self.transitions.values():
+            out |= targets
+        return out
+
+    @property
+    def edges(self) -> set[tuple[str, str]]:
+        return {
+            (src, dst) for src, targets in self.transitions.items() for dst in targets
+        }
+
+
+def _enum_member(node: ast.AST) -> tuple[str, str] | None:
+    """``EnumClass.MEMBER`` -> (enum name, member name)."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id, node.attr
+    return None
+
+
+def _parse_members(node: ast.AST) -> set[str] | None:
+    if not isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        return None
+    members = set()
+    for element in node.elts:
+        member = _enum_member(element)
+        if member is None:
+            return None
+        members.add(member[1])
+    return members
+
+
+def discover_machines(modules: list[SourceModule]) -> list[MachineTable]:
+    """Find StateMachine subclasses and parse their transition tables.
+
+    The recognized shape is the repo convention: an ``__init__`` whose
+    ``super().__init__(initial, {src: {dst, ...}}, terminal={...})``
+    call spells the whole table with ``Enum.MEMBER`` literals.
+    """
+    machines = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            table = _parse_class(module, node)
+            if table is not None:
+                machines.append(table)
+    return machines
+
+
+def _parse_class(module: SourceModule, cls: ast.ClassDef) -> MachineTable | None:
+    for item in cls.body:
+        if not isinstance(item, ast.FunctionDef) or item.name != "__init__":
+            continue
+        for call in ast.walk(item):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "__init__"
+                and isinstance(call.func.value, ast.Call)
+                and isinstance(call.func.value.func, ast.Name)
+                and call.func.value.func.id == "super"
+            ):
+                continue
+            if not call.args:
+                continue
+            initial = _enum_member(call.args[0])
+            table_node = call.args[1] if len(call.args) > 1 else None
+            terminal_node = call.args[2] if len(call.args) > 2 else None
+            for kw in call.keywords:
+                if kw.arg == "terminal":
+                    terminal_node = kw.value
+                if kw.arg == "transitions":
+                    table_node = kw.value
+                if kw.arg == "initial":
+                    initial = _enum_member(kw.value)
+            if initial is None or not isinstance(table_node, ast.Dict):
+                continue
+            enum_name, initial_member = initial
+            transitions: dict[str, set[str]] = {}
+            for key, value in zip(table_node.keys, table_node.values):
+                src = _enum_member(key) if key is not None else None
+                targets = _parse_members(value)
+                if src is None or targets is None:
+                    transitions = {}
+                    break
+                transitions[src[1]] = targets
+            if not transitions:
+                continue
+            terminal = _parse_members(terminal_node) if terminal_node is not None else set()
+            return MachineTable(
+                name=cls.name,
+                relpath=module.relpath,
+                line=cls.lineno,
+                enum=enum_name,
+                initial=initial_member,
+                transitions=transitions,
+                terminal=terminal or set(),
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# RL204: abstract interpretation of transition sequences
+# ----------------------------------------------------------------------
+
+
+class _Walker:
+    """Tracks machine-typed variables through one function body."""
+
+    def __init__(self, machines: dict[str, MachineTable], by_enum: dict[str, list[MachineTable]]):
+        self.machines = machines  # class name -> table
+        self.by_enum = by_enum
+        self.exercised: set[tuple[str, str, str]] = set()  # (machine, src, dst)
+
+    # -- environment helpers ------------------------------------------
+
+    @staticmethod
+    def _merge(a: dict, b: dict) -> dict:
+        out: dict = {}
+        for var in set(a) | set(b):
+            sa, sb = a.get(var), b.get(var)
+            if sa is None or sb is None:
+                chosen = sa if sb is None else sb
+                out[var] = chosen
+            elif sa[1] == TOP or sb[1] == TOP:
+                out[var] = (sa[0], TOP)
+            else:
+                out[var] = (sa[0], sa[1] | sb[1])
+        return out
+
+    def _mark(self, machine: MachineTable, current, member: str) -> None:
+        if current == TOP:
+            sources = {
+                src for src, targets in machine.transitions.items() if member in targets
+            }
+        else:
+            sources = {
+                src for src in current if member in machine.transitions.get(src, set())
+            }
+        for src in sources:
+            self.exercised.add((machine.name, src, member))
+
+    # -- expression scanning ------------------------------------------
+
+    def _scan_calls(self, node: ast.AST, env: dict) -> None:
+        calls = [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        for call in calls:
+            self._apply_call(call, env)
+
+    def _apply_call(self, call: ast.Call, env: dict) -> None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "transition"
+            and call.args
+        ):
+            member = _enum_member(call.args[0])
+            if member is not None:
+                enum_name, state = member
+                receiver = dotted_name(func.value)
+                if receiver in env:
+                    machine_name, current = env[receiver]
+                    machine = self.machines[machine_name]
+                    if machine.enum == enum_name:
+                        self._mark(machine, current, state)
+                        env[receiver] = (machine_name, frozenset({state}))
+                        return
+                # Unknown receiver: any machine over this enum may be
+                # driven here; mark every declared edge into the state.
+                for machine in self.by_enum.get(enum_name, []):
+                    self._mark(machine, TOP, state)
+                return
+        # A tracked variable escaping into a call loses precision.
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in env:
+                name, _states = env[arg.id]
+                env[arg.id] = (name, TOP)
+
+    # -- statement walking --------------------------------------------
+
+    def run(self, fn: ast.FunctionDef) -> None:
+        env: dict = {}
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            if (
+                arg.annotation is not None
+                and isinstance(arg.annotation, ast.Name)
+                and arg.annotation.id in self.machines
+            ):
+                env[arg.arg] = (arg.annotation.id, TOP)
+        self._block(fn.body, env)
+
+    def _block(self, stmts: list[ast.stmt], env: dict) -> tuple[dict, bool]:
+        """Returns (env after, terminated)."""
+        for stmt in stmts:
+            terminated = self._stmt(stmt, env)
+            if terminated:
+                return env, True
+        return env, False
+
+    def _snapshot_block(self, stmts: list[ast.stmt], env: dict) -> tuple[dict, bool, dict]:
+        """Like _block, but also unions the env at every statement
+        boundary — the states an exception handler could observe."""
+        union = dict(env)
+        for stmt in stmts:
+            terminated = self._stmt(stmt, env)
+            union = self._merge(union, env)
+            if terminated:
+                return env, True, union
+        return env, False, union
+
+    def _stmt(self, stmt: ast.stmt, env: dict) -> bool:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+        if isinstance(stmt, ast.Assign):
+            self._scan_calls(stmt.value, env)
+            value = stmt.value
+            for target in stmt.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in self.machines
+                ):
+                    machine = self.machines[value.func.id]
+                    env[target.id] = (machine.name, frozenset({machine.initial}))
+                elif target.id in env:
+                    del env[target.id]
+            return False
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._scan_calls(stmt.value, env)
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self._scan_calls(stmt.exc, env)
+            return True
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.If):
+            self._scan_calls(stmt.test, env)
+            then_env, then_done = self._block(stmt.body, dict(env))
+            else_env, else_done = self._block(stmt.orelse, dict(env))
+            merged = self._merge(
+                then_env if not then_done else {},
+                else_env if not else_done else {},
+            )
+            env.clear()
+            env.update(merged)
+            return then_done and else_done
+        if isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self._scan_calls(stmt.iter, env)
+            else:
+                self._scan_calls(stmt.test, env)
+            # Two passes approximate the loop fixpoint (enough for the
+            # construct-then-drive shapes this repo uses).
+            current = dict(env)
+            for _ in range(2):
+                body_env, _done = self._block(stmt.body, dict(current))
+                current = self._merge(current, body_env)
+            self._block(stmt.orelse, dict(current))
+            env.clear()
+            env.update(current)
+            return False
+        if isinstance(stmt, ast.Try):
+            body_env, body_done, at_raise = self._snapshot_block(stmt.body, dict(env))
+            outcomes = [] if body_done else [body_env]
+            for handler in stmt.handlers:
+                handler_env, handler_done = self._block(handler.body, dict(at_raise))
+                if not handler_done:
+                    outcomes.append(handler_env)
+            if stmt.orelse and not body_done:
+                else_env, else_done = self._block(stmt.orelse, dict(body_env))
+                outcomes = [o for o in outcomes if o is not body_env]
+                if not else_done:
+                    outcomes.append(else_env)
+            merged: dict = {}
+            for outcome in outcomes:
+                merged = self._merge(merged, outcome)
+            if not outcomes:
+                merged = at_raise  # every path raised/returned; finally still runs
+            final_env, final_done = self._block(stmt.finalbody, merged)
+            env.clear()
+            env.update(final_env)
+            return final_done or not outcomes
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_calls(item.context_expr, env)
+            _env, done = self._block(stmt.body, env)
+            return done
+        # Any other simple statement: scan its expressions in order.
+        self._scan_calls(stmt, env)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def check(modules: list[SourceModule]) -> list[Finding]:
+    machines = discover_machines(modules)
+    if not machines:
+        return []
+    by_name = {m.name: m for m in machines}
+    by_enum: dict[str, list[MachineTable]] = {}
+    for machine in machines:
+        by_enum.setdefault(machine.enum, []).append(machine)
+
+    findings: list[Finding] = []
+    findings.extend(_structural(machines))
+
+    walker = _Walker(by_name, by_enum)
+    entered: dict[str, set[str]] = {m.name: set() for m in machines}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walker.run(node)  # type: ignore[arg-type]
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "transition"
+                and node.args
+            ):
+                member = _enum_member(node.args[0])
+                if member is None:
+                    continue
+                enum_name, state = member
+                for machine in by_enum.get(enum_name, []):
+                    entered[machine.name].add(state)
+                    if state not in machine.targets:
+                        findings.append(
+                            Finding(
+                                path=module.relpath,
+                                line=node.lineno,
+                                code="RL202",
+                                checker=CHECKER,
+                                symbol=f"{machine.name}:{state}",
+                                message=(
+                                    f"transition to {enum_name}.{state} is outside "
+                                    f"{machine.name}'s declared table; this call "
+                                    f"can only raise StateError"
+                                ),
+                            )
+                        )
+
+    for machine in machines:
+        for state in sorted(machine.targets - entered[machine.name]):
+            findings.append(
+                Finding(
+                    path=machine.relpath,
+                    line=machine.line,
+                    code="RL201",
+                    checker=CHECKER,
+                    symbol=f"{machine.name}:{state}",
+                    message=(
+                        f"{machine.name} declares transitions into {state} but no "
+                        f"call site ever enters it"
+                    ),
+                )
+            )
+        for src, dst in sorted(machine.edges):
+            if (machine.name, src, dst) not in walker.exercised:
+                findings.append(
+                    Finding(
+                        path=machine.relpath,
+                        line=machine.line,
+                        code="RL204",
+                        checker=CHECKER,
+                        symbol=f"{machine.name}:{src}->{dst}",
+                        message=(
+                            f"declared edge {src} -> {dst} of {machine.name} is "
+                            f"never exercised by any visible call sequence"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _structural(machines: list[MachineTable]) -> list[Finding]:
+    findings = []
+    for machine in machines:
+        reachable_terminal = _reaches_terminal(machine)
+        for state in sorted(machine.states):
+            if state in machine.terminal:
+                continue
+            if not machine.transitions.get(state):
+                findings.append(
+                    Finding(
+                        path=machine.relpath,
+                        line=machine.line,
+                        code="RL203",
+                        checker=CHECKER,
+                        symbol=f"{machine.name}:{state}:dead-end",
+                        message=(
+                            f"non-terminal state {state} of {machine.name} has no "
+                            f"outgoing edges; a failure parked here never resolves"
+                        ),
+                    )
+                )
+            elif state not in reachable_terminal:
+                findings.append(
+                    Finding(
+                        path=machine.relpath,
+                        line=machine.line,
+                        code="RL203",
+                        checker=CHECKER,
+                        symbol=f"{machine.name}:{state}:no-terminal-path",
+                        message=(
+                            f"state {state} of {machine.name} cannot reach any "
+                            f"terminal state"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _reaches_terminal(machine: MachineTable) -> set[str]:
+    """States with a path to a terminal state (terminals included)."""
+    good = set(machine.terminal)
+    changed = True
+    while changed:
+        changed = False
+        for src, targets in machine.transitions.items():
+            if src not in good and targets & good:
+                good.add(src)
+                changed = True
+    return good

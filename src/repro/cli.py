@@ -7,6 +7,7 @@ Commands:
 - ``inspect-shm``    — examine a leaf's shared memory state (read-only)
 - ``bench-restart``  — a real scaled disk-vs-shm restart on this machine
 - ``leaf-worker``    — run one leaf server process (the deployment unit)
+- ``lint``           — reprolint, the AST-based restart-invariant verifier
 """
 
 from __future__ import annotations
@@ -238,6 +239,36 @@ def cmd_leaf_worker(args: argparse.Namespace, extra: list[str]) -> int:
     return worker_main(extra)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_json, render_text, run_lint, write_baseline
+
+    try:
+        result = run_lint(
+            root=args.root,
+            checkers=args.checker or None,
+            baseline_path=args.baseline,
+        )
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        from repro.analysis.runner import DEFAULT_BASELINE
+
+        path = args.baseline or (args.root + "/" + DEFAULT_BASELINE)
+        write_baseline(result, path)
+        print(
+            f"baseline written to {path} "
+            f"({len({f.key for f in result.findings})} entries) — "
+            f"fill in the TODO justifications before committing"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -285,6 +316,37 @@ def build_parser() -> argparse.ArgumentParser:
         "repro.server.process_worker)",
         add_help=False,
     )
+
+    p = sub.add_parser(
+        "lint", help="verify restart invariants with the reprolint checkers"
+    )
+    p.add_argument("--root", default=".", help="repository root to scan")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format"
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="accepted-findings file (default: src/repro/analysis/baseline.json "
+        "under --root, when present)",
+    )
+    p.add_argument(
+        "--checker",
+        action="append",
+        metavar="NAME",
+        help="run only this checker (repeatable); default: all",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list baselined findings with their justifications",
+    )
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

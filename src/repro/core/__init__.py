@@ -8,7 +8,7 @@ disk recovery whenever shared memory state is absent, invalid, or from an
 incompatible layout.
 """
 
-from repro.core.engine import RestartEngine, RestartReport, RecoveryMethod
+from repro.core.engine import RecoveryMethod, RestartEngine, RestartReport
 from repro.core.states import (
     LeafBackupMachine,
     LeafBackupState,

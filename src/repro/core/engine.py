@@ -55,6 +55,7 @@ from enum import Enum
 from typing import Callable
 
 from repro.columnstore.leafmap import LeafMap
+from repro.core.parallel import FootprintBudget
 from repro.core.states import (
     LeafBackupMachine,
     LeafBackupState,
@@ -65,7 +66,6 @@ from repro.core.states import (
     TableRestoreMachine,
     TableRestoreState,
 )
-from repro.core.parallel import FootprintBudget
 from repro.core.watchdog import CooperativeDeadline
 from repro.disk.backup import DiskBackup
 from repro.disk.recovery import iter_snapshot_tables, recover_leafmap
@@ -442,15 +442,24 @@ class RestartEngine:
         if use_memory:
             meta = LeafMetadata.attach(self.namespace, self.leaf_id)
             try:
-                valid = meta.valid and meta.layout_version == self.layout_version
-            except (CorruptionError, LayoutVersionError):
-                valid = False
-            if not valid:
-                # "if valid bit is false: delete shared memory segments,
-                # recover from disk"
-                self._discard_shm_tracked(meta)
-                meta = None
-                use_memory = False
+                try:
+                    valid = (
+                        meta.valid and meta.layout_version == self.layout_version
+                    )
+                except (CorruptionError, LayoutVersionError):
+                    valid = False
+                if not valid:
+                    # "if valid bit is false: delete shared memory segments,
+                    # recover from disk"
+                    self._discard_shm_tracked(meta)
+                    meta = None
+                    use_memory = False
+            except Exception:
+                # The metadata mapping must not outlive an unexpected
+                # failure here — shared memory is never reclaimed by
+                # process exit.
+                meta.close()
+                raise
         if not use_memory:
             self._recover_from_disk(leafmap, report, leaf)
             leaf.transition(LeafRestoreState.ALIVE)
@@ -496,9 +505,9 @@ class RestartEngine:
         for record in records:
             if not segment_exists(record.segment_name):
                 continue
-            segment = ShmSegment.attach(record.segment_name)
-            nbytes = segment.size
-            segment.unlink()
+            with ShmSegment.attach(record.segment_name) as segment:
+                nbytes = segment.size
+                segment.unlink()
             tracked = min(nbytes, self.tracker.in_region("shm"))
             if tracked:
                 self.tracker.free("shm", tracked, at=now)
@@ -521,9 +530,10 @@ class RestartEngine:
         # segments it is about to consume so the footprint sums hold.
         if self.tracker.in_region("shm") == 0:
             for record in records:
-                segment = ShmSegment.attach(record.segment_name)
-                self.tracker.allocate("shm", segment.size, at=self.clock.now())
-                segment.close()
+                with ShmSegment.attach(record.segment_name) as segment:
+                    self.tracker.allocate(
+                        "shm", segment.size, at=self.clock.now()
+                    )
         for record in records:
             machine = TableRestoreMachine()
             machine.transition(TableRestoreState.MEMORY_RECOVERY)

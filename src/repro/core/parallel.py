@@ -101,10 +101,11 @@ class FootprintBudget:
             self.release(nbytes)
 
     def __repr__(self) -> str:
-        return (
-            f"FootprintBudget(limit={self.limit_bytes}, "
-            f"in_flight={self.in_flight}, peak={self.peak_in_flight})"
-        )
+        with self._cond:
+            return (
+                f"FootprintBudget(limit={self.limit_bytes}, "
+                f"in_flight={self._in_flight}, peak={self.peak_in_flight})"
+            )
 
 
 @dataclass

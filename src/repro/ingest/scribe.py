@@ -8,7 +8,6 @@ from a cursor and can re-read after a failure (at-least-once).
 
 from __future__ import annotations
 
-from typing import Mapping
 
 from repro.types import ColumnValue
 

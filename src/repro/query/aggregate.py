@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import QueryError
-from repro.query.query import Aggregation, Query, QueryResult, ResultRow
+from repro.query.query import Query, QueryResult, ResultRow
 from repro.types import ColumnValue
 
 

@@ -25,7 +25,7 @@ from enum import Enum
 from typing import Iterable, Mapping
 
 from repro.columnstore.leafmap import LeafMap
-from repro.core.engine import RecoveryMethod, RestartEngine, RestartReport
+from repro.core.engine import RestartEngine, RestartReport
 from repro.core.watchdog import CooperativeDeadline
 from repro.disk.backup import DiskBackup
 from repro.errors import StateError
@@ -165,8 +165,11 @@ class LeafServer:
         memory state is *not* created — the next start recovers from
         disk (the paper never trusts shared memory after a crash).
         """
-        self.leafmap = LeafMap(clock=self.clock, rows_per_block=self._rows_per_block)
-        self.status = LeafStatus.DOWN
+        with self._lock:
+            self.leafmap = LeafMap(
+                clock=self.clock, rows_per_block=self._rows_per_block
+            )
+            self.status = LeafStatus.DOWN
 
     # ------------------------------------------------------------------
     # Data plane
@@ -225,12 +228,16 @@ class LeafServer:
 
     def expire(self, retention_seconds: int) -> int:
         """Age-based expiry across all tables; returns rows dropped."""
-        if self.status is not LeafStatus.ALIVE:
-            raise StateError(
-                f"leaf {self.leaf_id} cannot expire data in status "
-                f"{self.status.value}"
-            )
         with self._lock:
+            # The status check must share the critical section with the
+            # expiry itself: checked outside, a concurrent stop() could
+            # land between check and loop and we would expire into a
+            # leafmap that is mid-backup.
+            if self.status is not LeafStatus.ALIVE:
+                raise StateError(
+                    f"leaf {self.leaf_id} cannot expire data in status "
+                    f"{self.status.value}"
+                )
             cutoff = int(self.clock.now()) - retention_seconds
             dropped = 0
             for table in self.leafmap:

@@ -12,7 +12,7 @@ from repro.util.binary import (
     zigzag_decode,
     zigzag_encode,
 )
-from repro.util.bits import pack_uints, unpack_uints, required_bit_width
+from repro.util.bits import pack_uints, required_bit_width, unpack_uints
 from repro.util.checksum import crc32_of, verify_crc32
 from repro.util.clock import Clock, ManualClock, SystemClock
 from repro.util.memtrack import MemoryTracker

@@ -55,6 +55,12 @@ def clock():
     return ManualClock(1_390_000_000.0)
 
 
+@pytest.fixture(scope="session")
+def repo_root():
+    """The repository checkout the analysis tests lint."""
+    return Path(__file__).resolve().parent.parent
+
+
 @pytest.fixture
 def backup(tmp_path):
     return DiskBackup(tmp_path / "backup")

@@ -1,0 +1,22 @@
+"""Known-bad fallback fixture — RL501, RL502 and RL503 fire."""
+
+
+def recover_tier(source) -> None:
+    try:
+        source.load()
+    except Exception:  # RL501: swallowed without routing
+        source.reset()
+
+
+def recover_quietly(source) -> None:
+    try:
+        source.load()
+    except ValueError:  # RL502: pass-only handler
+        pass
+
+
+def recover_rows(source) -> int:
+    rows = source.count()
+    if rows < 0:
+        raise RuntimeError("negative row count")  # RL503: untyped raise
+    return rows

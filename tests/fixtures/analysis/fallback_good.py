@@ -1,0 +1,26 @@
+"""Known-good fallback fixture — every handler routes, no findings."""
+
+from repro.errors import RecoveryError
+
+
+def recover_with_reraise(source):
+    try:
+        return source.load()
+    except Exception as exc:
+        raise RecoveryError("tier failed") from exc
+
+
+def recover_with_fallback(source, report):
+    try:
+        return source.load()
+    except Exception:
+        report.fell_back_to_legacy = True
+        return source.replay()
+
+
+def recover_logged(source, log):
+    try:
+        return source.load()
+    except Exception as exc:
+        log.warning("tier failed: %s", exc)
+        return None

@@ -1,0 +1,26 @@
+"""Known-bad layout fixture — every RL1xx code fires in this file.
+
+Parsed by the layout-drift checker, never imported.
+"""
+
+import struct
+
+HEADER = struct.Struct("<IHHQ")  # 4 fields, 16 bytes
+TRAILER = struct.Struct("<II")  # packed below, never unpacked: RL105
+SEGMENT_MAGIC = 0x4C425453
+VERSION_OFFSET = 7  # not a field boundary of any format here: RL106
+
+
+def write_header(buf: bytearray) -> None:
+    HEADER.pack_into(buf, 0, 1, 2, 3)  # 3 values for 4 fields: RL101
+
+
+def write_trailer() -> bytes:
+    return TRAILER.pack(1, 2)
+
+
+def read_header(data: bytes) -> bytes:
+    magic, version = HEADER.unpack(data)  # 2 targets for 4 fields: RL102
+    if magic != 0x4C425453:  # raw literal shadowing SEGMENT_MAGIC: RL103
+        raise ValueError(version)
+    return data[16:]  # hardcoded HEADER.size: RL104

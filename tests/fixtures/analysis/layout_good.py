@@ -1,0 +1,18 @@
+"""Known-good layout fixture — the layout-drift checker stays silent."""
+
+import struct
+
+HEADER = struct.Struct("<IHHQ")  # 4 fields, 16 bytes
+SEGMENT_MAGIC = 0x4C425453
+BODY_OFFSET = 8  # boundary after "<IHH": fine
+
+
+def write_header(buf: bytearray) -> None:
+    HEADER.pack_into(buf, 0, SEGMENT_MAGIC, 1, 2, 3)
+
+
+def read_header(data: bytes) -> bytes:
+    magic, version, flags, length = HEADER.unpack(data[: HEADER.size])
+    if magic != SEGMENT_MAGIC:
+        raise ValueError((version, flags, length))
+    return data[HEADER.size :]

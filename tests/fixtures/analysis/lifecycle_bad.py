@@ -1,0 +1,14 @@
+"""Known-bad lifecycle fixture — RL401 and RL402 fire."""
+
+from repro.shm.segment import ShmSegment
+
+
+def leak_forever(name: str) -> int:
+    segment = ShmSegment.attach(name)  # RL401: never released
+    return segment.size
+
+
+def leak_on_raise(name: str, sink) -> None:
+    segment = ShmSegment.attach(name)  # RL402: consume() may raise
+    sink.consume(segment.read_at(0, 8))
+    segment.close()

@@ -1,0 +1,42 @@
+"""Known-good lifecycle fixture — every acquire is covered, no findings."""
+
+from repro.shm.segment import ShmSegment
+
+
+def with_block(name: str) -> int:
+    with ShmSegment.attach(name) as segment:
+        return segment.size
+
+
+def chained(name: str) -> None:
+    ShmSegment.attach(name).unlink()
+
+
+def try_finally(name: str, sink) -> None:
+    segment = ShmSegment.attach(name)
+    try:
+        sink.consume(segment)
+    finally:
+        segment.close()
+
+
+def guarded_handler(name: str, sink) -> None:
+    segment = None
+    try:
+        segment = ShmSegment.attach(name)
+        sink.consume(segment)
+        segment.close()
+    except Exception:
+        if segment is not None:
+            segment.close()
+        raise
+
+
+def factory(name: str):
+    raw = ShmSegment.attach(name)
+    return Wrapper(raw)  # noqa: F821 — ownership moves into the wrapper
+
+
+def returned(name: str):
+    segment = ShmSegment.attach(name)
+    return segment

@@ -1,0 +1,17 @@
+"""Known-bad guarded-by fixture — RL301 and RL302 fire."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+        self.history = []
+
+    def bump(self) -> None:
+        self.value += 1  # RL301: unguarded write
+        self.history.append(self.value)  # RL301 (append) + RL302 (value read)
+
+    def peek(self) -> int:
+        return self.value  # RL302: unguarded read

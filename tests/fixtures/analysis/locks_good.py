@@ -1,0 +1,24 @@
+"""Known-good guarded-by fixture — lock discipline holds, no findings."""
+
+import threading
+
+
+class SafeCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+        self.peak = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.value += 1
+            self._note()
+
+    def read(self) -> int:
+        with self._lock:
+            return self.value
+
+    def _note(self) -> None:
+        # Only ever called under the lock: lock-held by closure.
+        if self.value > self.peak:
+            self.peak = self.value

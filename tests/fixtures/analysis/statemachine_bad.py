@@ -1,0 +1,39 @@
+"""Known-bad state-machine fixture — RL201/RL202/RL203/RL204 all fire."""
+
+import enum
+
+
+class Phase(enum.Enum):
+    START = "start"
+    COPY = "copy"
+    DONE = "done"
+    ABORT = "abort"
+
+
+class PhaseMachine:
+    def __init__(self) -> None:
+        super().__init__(
+            Phase.START,
+            {
+                Phase.START: {Phase.COPY},
+                Phase.COPY: {Phase.DONE, Phase.ABORT},
+            },
+            terminal={Phase.DONE, Phase.ABORT},
+        )
+
+
+class StallMachine:
+    def __init__(self) -> None:
+        # COPY is a dead end and START cannot reach DONE: RL203 twice
+        super().__init__(
+            Phase.START,
+            {Phase.START: {Phase.COPY}},
+            terminal={Phase.DONE},
+        )
+
+
+def drive() -> None:
+    machine = PhaseMachine()
+    machine.transition(Phase.COPY)
+    machine.transition(Phase.DONE)
+    machine.transition(Phase.START)  # undeclared target: RL202

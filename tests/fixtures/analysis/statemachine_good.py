@@ -1,0 +1,27 @@
+"""Known-good state-machine fixture — full edge coverage, no findings."""
+
+import enum
+
+
+class Stage(enum.Enum):
+    START = "start"
+    COPY = "copy"
+    DONE = "done"
+
+
+class StageMachine:
+    def __init__(self) -> None:
+        super().__init__(
+            Stage.START,
+            {
+                Stage.START: {Stage.COPY},
+                Stage.COPY: {Stage.DONE},
+            },
+            terminal={Stage.DONE},
+        )
+
+
+def drive() -> None:
+    machine = StageMachine()
+    machine.transition(Stage.COPY)
+    machine.transition(Stage.DONE)

@@ -1,0 +1,54 @@
+"""Fixture tests for the fallback-routing checker (RL5xx)."""
+
+from pathlib import Path
+
+from repro.analysis.checkers import fallback
+from repro.analysis.loader import load_files
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def run(name):
+    # Fixtures live outside the default core/disk scope.
+    return fallback.check(load_files([FIXTURES / name]), scope_prefixes=())
+
+
+class TestBadFixture:
+    def test_exact_findings(self):
+        found = {(f.code, f.line, f.symbol) for f in run("fallback_bad.py")}
+        assert found == {
+            ("RL501", 7, "recover_tier:except:Exception"),
+            ("RL502", 14, "recover_quietly:except:ValueError"),
+            ("RL503", 21, "recover_rows:raise:RuntimeError"),
+        }
+
+
+class TestGoodFixture:
+    def test_silent(self):
+        """Re-raise-typed, fell_back record + replay, and used exc all
+        count as routing."""
+        assert run("fallback_good.py") == []
+
+
+class TestScope:
+    def test_default_scope_skips_out_of_tier_files(self):
+        modules = load_files([FIXTURES / "fallback_bad.py"])
+        assert fallback.check(modules) == []
+
+
+class TestRealTree:
+    def test_recovery_tiers_route_or_are_baselined(self, repo_root):
+        """engine.py and recovery.py route every broad handler; the one
+        intentional swallow (backup.wipe teardown) is the only finding."""
+        modules = load_files(
+            [
+                repo_root / "src/repro/core/engine.py",
+                repo_root / "src/repro/disk/recovery.py",
+                repo_root / "src/repro/disk/backup.py",
+            ],
+            root=repo_root,
+        )
+        findings = fallback.check(modules)
+        assert [(f.code, f.symbol) for f in findings] == [
+            ("RL502", "wipe:except:OSError")
+        ]

@@ -1,0 +1,50 @@
+"""Fixture tests for the layout-drift checker (RL1xx)."""
+
+from pathlib import Path
+
+from repro.analysis.checkers import layout
+from repro.analysis.loader import load_files
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def run(name):
+    return layout.check(load_files([FIXTURES / name]))
+
+
+class TestBadFixture:
+    def test_exact_findings(self):
+        found = {(f.code, f.line) for f in run("layout_bad.py")}
+        assert found == {
+            ("RL101", 15),  # pack_into with 3 values for 4 fields
+            ("RL102", 23),  # unpack into 2 targets for 4 fields
+            ("RL103", 24),  # raw 0x4C425453 literal shadowing SEGMENT_MAGIC
+            ("RL104", 26),  # hardcoded 16 == HEADER.size
+            ("RL105", 9),  # TRAILER packed but never unpacked
+            ("RL106", 11),  # VERSION_OFFSET = 7 is not a field boundary
+        }
+
+    def test_symbols_are_stable_identities(self):
+        symbols = {f.code: f.symbol for f in run("layout_bad.py")}
+        assert symbols["RL101"] == "HEADER.pack_into"
+        assert symbols["RL105"] == "TRAILER"
+        assert symbols["RL106"] == "VERSION_OFFSET"
+
+
+class TestGoodFixture:
+    def test_silent(self):
+        assert run("layout_good.py") == []
+
+
+class TestRealTree:
+    def test_shm_and_disk_formats_are_clean(self, repo_root):
+        modules = load_files(
+            [
+                repo_root / "src/repro/shm/layout.py",
+                repo_root / "src/repro/shm/metadata.py",
+                repo_root / "src/repro/disk/shmformat.py",
+                repo_root / "src/repro/disk/format.py",
+            ],
+            root=repo_root,
+        )
+        assert layout.check(modules) == []

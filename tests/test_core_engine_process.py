@@ -11,7 +11,6 @@ import subprocess
 import sys
 import textwrap
 
-import pytest
 
 
 def run_child(source: str) -> str:

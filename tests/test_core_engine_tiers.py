@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 
-from tests.conftest import make_leafmap
 from repro.columnstore.leafmap import LeafMap
 from repro.core.engine import RecoveryMethod, RestartEngine
 from repro.disk.backup import DiskBackup
@@ -21,6 +20,7 @@ from repro.disk.shmformat import write_table_shm_format
 from repro.errors import CorruptionError
 from repro.shm.layout import SHM_LAYOUT_VERSION
 from repro.util.memtrack import MemoryTracker
+from tests.conftest import make_leafmap
 
 
 def synced_backup(tmp_path, clock, tables=("events",)):

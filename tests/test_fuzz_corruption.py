@@ -10,7 +10,6 @@ failure into a disk fallback, which test_core_engine covers; here we
 fuzz the parsers themselves.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.rollover import RolloverCoordinator

@@ -10,7 +10,6 @@ fully rejected.
 
 import threading
 
-import pytest
 
 from repro.core.engine import RecoveryMethod
 from repro.disk.backup import DiskBackup

@@ -5,7 +5,6 @@ idempotent across arbitrarily many generations — data identical, no
 shared memory accumulation, watermarks consistent with the disk backup.
 """
 
-import pytest
 
 from repro.columnstore.leafmap import LeafMap
 from repro.core.engine import RecoveryMethod, RestartEngine
