@@ -6,6 +6,7 @@ Commands:
 - ``availability``   — weekly availability for a deploy cadence
 - ``inspect-shm``    — examine a leaf's shared memory state (read-only)
 - ``bench-restart``  — a real scaled disk-vs-shm restart on this machine
+- ``bench-query``    — vectorized vs row-at-a-time query execution (E13)
 - ``leaf-worker``    — run one leaf server process (the deployment unit)
 - ``lint``           — reprolint, the AST-based restart-invariant verifier
 """
@@ -233,6 +234,110 @@ def _bench_parallel_restart(args: argparse.Namespace, namespace: str) -> int:
     return 0
 
 
+def cmd_bench_query(args: argparse.Namespace) -> int:
+    """``bench-query``: the E13 before/after — row-at-a-time vs the
+    vectorized executor, cold and warm through the decoded-column cache."""
+    import json
+
+    from repro.columnstore.colcache import DecodedColumnCache
+    from repro.columnstore.leafmap import LeafMap
+    from repro.query.execute import execute_on_leaf, execute_on_leaf_rows
+    from repro.query.query import Aggregation, Filter, Query
+    from repro.util.clock import ManualClock
+    from repro.workloads import service_requests
+
+    cache = DecodedColumnCache(args.cache_mb << 20)
+    leafmap = LeafMap(
+        clock=ManualClock(0.0), rows_per_block=8192, column_cache=cache
+    )
+    leafmap.get_or_create("service_requests").add_rows(service_requests(args.rows))
+    leafmap.seal_all()
+    data_bytes = sum(t.sealed_nbytes for t in leafmap)
+    print(f"{args.rows:,} rows, {data_bytes / 1e6:.2f} MB compressed")
+
+    queries = {
+        "grouped-aggregation": Query(
+            "service_requests",
+            aggregations=(
+                Aggregation("count"),
+                Aggregation("avg", "latency_ms"),
+                Aggregation("p99", "latency_ms"),
+            ),
+            group_by=("endpoint",),
+        ),
+        "filtered-count": Query(
+            "service_requests",
+            aggregations=(Aggregation("count"),),
+            filters=(
+                Filter("status", "ge", 500),
+                Filter("tags", "contains", "prod"),
+            ),
+        ),
+        "time-window-buckets": Query(
+            "service_requests",
+            aggregations=(Aggregation("count"), Aggregation("max", "latency_ms")),
+            start_time=1_390_000_000,
+            end_time=1_390_000_000 + args.rows // 8,
+            bucket_seconds=60,
+            group_by=("datacenter",),
+        ),
+    }
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(max(1, args.repeats)):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    results = []
+    for name, query in queries.items():
+        row_s = best_of(lambda: execute_on_leaf_rows(leafmap, query))
+        cache.clear()
+        started = time.perf_counter()
+        execute_on_leaf(leafmap, query)
+        cold_s = time.perf_counter() - started
+        warm_s = best_of(lambda: execute_on_leaf(leafmap, query))
+        speedup = row_s / max(warm_s, 1e-9)
+        results.append(
+            {
+                "query": name,
+                "row_ms": row_s * 1000,
+                "vector_cold_ms": cold_s * 1000,
+                "vector_warm_ms": warm_s * 1000,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"{name:24s} row {row_s * 1000:8.1f} ms | vectorized cold "
+            f"{cold_s * 1000:7.1f} ms, warm {warm_s * 1000:7.1f} ms "
+            f"({speedup:.1f}x)"
+        )
+    stats = cache.stats()
+    print(
+        f"cache: {stats.entries} entries, {stats.nbytes / 1e6:.2f} MB, "
+        f"hit rate {stats.hit_rate:.1%}"
+    )
+    if args.json:
+        payload = {
+            "experiment": "E13",
+            "rows": args.rows,
+            "compressed_bytes": data_bytes,
+            "queries": results,
+            "min_speedup": min(r["speedup"] for r in results),
+            "cache": {
+                "entries": stats.entries,
+                "nbytes": stats.nbytes,
+                "hit_rate": stats.hit_rate,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_leaf_worker(args: argparse.Namespace, extra: list[str]) -> int:
     from repro.server.process_worker import main as worker_main
 
@@ -309,6 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare legacy row-format replay against the "
                    "shm-format snapshot tier (E12), incl. torn-file fallback")
     p.set_defaults(func=cmd_bench_restart)
+
+    p = sub.add_parser(
+        "bench-query", help="vectorized vs row-at-a-time query execution (E13)"
+    )
+    p.add_argument("--rows", type=int, default=50_000)
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="decoded-column cache capacity in MiB")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats (best-of)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the measurements as JSON")
+    p.set_defaults(func=cmd_bench_query)
 
     sub.add_parser(
         "leaf-worker",

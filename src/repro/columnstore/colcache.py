@@ -1,0 +1,235 @@
+"""The decoded-column cache: (row block, column) → :class:`DecodedColumn`.
+
+Dashboard traffic is repetitive — the same handful of queries over the
+same recent blocks, refreshed every few seconds.  Without a cache every
+refresh re-decompresses the same RBC buffers; with one, a sealed block's
+column is decoded once and every later query that names it gets the
+arrays back in a dict lookup.
+
+Design constraints, in paper order:
+
+- **Byte-capped LRU.**  Decoded arrays are the *uncompressed* data, so
+  an unbounded cache would silently undo the 30x compression win.  The
+  cap is enforced on a tracked byte total; eviction is
+  least-recently-used at entry granularity.
+- **Charged to the leaf's** :class:`~repro.util.memtrack.MemoryTracker`
+  (region ``"cache"``), so the Section 4.4 footprint claim stays
+  checkable: the cache's bytes are visible next to heap and shm, and the
+  restart engine drops them before the copy loop starts.
+- **Keyed by block uid, not identity.**  Row blocks are immutable, so an
+  entry can never go stale — but blocks *leave* (expiry, size limits,
+  ``take_blocks`` during shutdown, restore fallbacks), and their entries
+  must leave with them or the bytes linger forever.  Tables call
+  :meth:`invalidate_blocks` at every point a block exits.
+- **Lock-guarded.**  Queries may run concurrently with expiry and with
+  lifecycle transitions on other threads; every attribute is touched
+  only under ``self._lock`` (reprolint's RL3xx checker enforces this).
+  Decoding itself happens *outside* the lock so concurrent queries
+  don't serialize on decompression.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.compression.decoded import DecodedColumn
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (rowblock ← rbc)
+    from repro.columnstore.rowblock import RowBlock
+    from repro.util.memtrack import MemoryTracker
+
+#: Default cap: a few dozen decoded columns at test scale while staying
+#: far below a leaf's data size (a production leaf would size this as a
+#: fraction of its 10-15 GB capacity).
+DEFAULT_CACHE_BYTES = 32 << 20
+
+#: The MemoryTracker region decoded columns are charged to.
+CACHE_REGION = "cache"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache's counters."""
+
+    entries: int
+    nbytes: int
+    capacity_bytes: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class DecodedColumnCache:
+    """Byte-capped LRU cache of decoded row block columns."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        tracker: "MemoryTracker | None" = None,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._tracker = tracker
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple[int, str], DecodedColumn] = OrderedDict()
+        self._by_block: dict[int, set[str]] = {}
+        self._nbytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, block: "RowBlock", name: str) -> DecodedColumn | None:
+        """The cached decode of ``block``'s column ``name``, or None."""
+        with self._lock:
+            entry = self._entries.get((block.uid, name))
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end((block.uid, name))
+            self._hits += 1
+            return entry
+
+    def put(self, block: "RowBlock", name: str, decoded: DecodedColumn) -> None:
+        """Insert a decode result, evicting LRU entries past the cap.
+
+        An entry larger than the whole cap is not cached at all (it
+        would only evict everything and then be evicted itself).
+        """
+        nbytes = decoded.nbytes
+        if nbytes > self.capacity_bytes:
+            return
+        with self._lock:
+            key = (block.uid, name)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = decoded
+            self._by_block.setdefault(block.uid, set()).add(name)
+            self._nbytes += nbytes
+            self._charge(nbytes)
+            while self._nbytes > self.capacity_bytes:
+                self._evict_oldest()
+
+    def get_or_decode(self, block: "RowBlock", name: str) -> DecodedColumn:
+        """Cached decode of one column, decoding on miss.
+
+        The decode runs outside the lock, so two threads missing on the
+        same key may both decode; the second insert is dropped by
+        :meth:`put` — wasted work, never a wrong answer.
+        """
+        cached = self.get(block, name)
+        if cached is not None:
+            return cached
+        decoded = block.decoded_column(name)
+        self.put(block, name, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate_blocks(self, uids: Iterable[int]) -> int:
+        """Drop every entry of the given block uids; returns bytes freed.
+
+        Called by tables whenever blocks exit (expiry, size limits,
+        ``take_blocks``, ``replace_blocks``) — the cache must never hold
+        decoded data for blocks the store no longer owns.
+        """
+        with self._lock:
+            freed = 0
+            for uid in uids:
+                names = self._by_block.pop(uid, None)
+                if not names:
+                    continue
+                for name in names:
+                    entry = self._entries.pop((uid, name))
+                    freed += entry.nbytes
+                    self._invalidations += 1
+            if freed:
+                self._nbytes -= freed
+                self._discharge(freed)
+            return freed
+
+    def clear(self) -> int:
+        """Drop everything; returns bytes freed.
+
+        The restart engine calls this before the Figure-6 copy loop so
+        the only bytes in flight during shutdown are heap + shm — the
+        footprint invariant the paper's Section 4.4 argues for.
+        """
+        with self._lock:
+            freed = self._nbytes
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._by_block.clear()
+            self._nbytes = 0
+            if freed:
+                self._discharge(freed)
+            return freed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._nbytes
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                entries=len(self._entries),
+                nbytes=self._nbytes,
+                capacity_bytes=self.capacity_bytes,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+            )
+
+    # ------------------------------------------------------------------
+    # Internals (lock already held by every caller)
+    # ------------------------------------------------------------------
+
+    def _evict_oldest(self) -> None:
+        key, entry = self._entries.popitem(last=False)
+        uid, name = key
+        names = self._by_block.get(uid)
+        if names is not None:
+            names.discard(name)
+            if not names:
+                del self._by_block[uid]
+        self._nbytes -= entry.nbytes
+        self._evictions += 1
+        self._discharge(entry.nbytes)
+
+    def _charge(self, nbytes: int) -> None:
+        if self._tracker is not None:
+            self._tracker.allocate(CACHE_REGION, nbytes)
+
+    def _discharge(self, nbytes: int) -> None:
+        if self._tracker is not None:
+            self._tracker.free(CACHE_REGION, nbytes)
+
+
+__all__ = ["CacheStats", "DecodedColumnCache", "DEFAULT_CACHE_BYTES", "CACHE_REGION"]

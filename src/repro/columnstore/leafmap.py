@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.columnstore.colcache import DecodedColumnCache
 from repro.columnstore.table import Table
 from repro.errors import SchemaError
 from repro.util.clock import Clock, SystemClock
@@ -22,9 +23,14 @@ class LeafMap:
         self,
         clock: Clock | None = None,
         rows_per_block: int | None = None,
+        column_cache: DecodedColumnCache | None = None,
     ) -> None:
         self._clock = clock or SystemClock()
         self._rows_per_block = rows_per_block
+        #: The leaf-wide decoded-column cache every table reads through.
+        #: One cache per leaf (not per table) so the byte cap is a leaf
+        #: budget and the restart engine has a single thing to drop.
+        self.column_cache = column_cache
         self._tables: dict[str, Table] = {}
 
     def __contains__(self, name: str) -> bool:
@@ -47,7 +53,7 @@ class LeafMap:
         kwargs = {}
         if self._rows_per_block is not None:
             kwargs["rows_per_block"] = self._rows_per_block
-        table = Table(name, clock=self._clock, **kwargs)
+        table = Table(name, clock=self._clock, cache=self.column_cache, **kwargs)
         self._tables[name] = table
         return table
 
@@ -66,13 +72,29 @@ class LeafMap:
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise SchemaError(f"no such table '{name}'")
-        del self._tables[name]
+        table = self._tables.pop(name)
+        if self.column_cache is not None:
+            self.column_cache.invalidate_blocks(
+                block.uid for block in table.blocks
+            )
 
     def adopt_table(self, table: Table) -> None:
         """Install a recovered table object (restore path)."""
         if table.name in self._tables:
             raise SchemaError(f"table '{table.name}' already exists")
+        table.set_cache(self.column_cache)
         self._tables[table.name] = table
+
+    def drop_column_cache(self) -> int:
+        """Empty the decoded-column cache; returns bytes freed.
+
+        The restart engine calls this before the shutdown copy loop and
+        before any restore, so cached decodes never count against the
+        restart footprint and a restored leaf always starts cold.
+        """
+        if self.column_cache is None:
+            return 0
+        return self.column_cache.clear()
 
     @property
     def nbytes(self) -> int:

@@ -36,7 +36,14 @@ from __future__ import annotations
 
 import struct
 
-from repro.compression import CompressionFlags, EncodedColumn, decode_column, encode_column
+from repro.compression import (
+    CompressionFlags,
+    DecodedColumn,
+    EncodedColumn,
+    decode_column,
+    decode_column_arrays,
+    encode_column,
+)
 from repro.errors import CorruptionError, LayoutVersionError
 from repro.types import ColumnType, ColumnValue
 from repro.util.checksum import crc32_of, verify_crc32
@@ -193,6 +200,14 @@ class RowBlockColumn:
         # The encoded sections are consumed inside decode_column, so the
         # zero-copy form avoids two throwaway buffer copies per decode.
         return decode_column(ctype, self.to_encoded(copy=False))
+
+    def decoded(self, ctype: ColumnType) -> DecodedColumn:
+        """Decode straight to the array form the vectorized kernels use.
+
+        The result's arrays are fresh heap copies — safe to cache past
+        the lifetime of this buffer (e.g. an shm view).
+        """
+        return decode_column_arrays(ctype, self.to_encoded(copy=False))
 
     def copy_bytes(self) -> bytes:
         """A detached copy of the buffer (e.g. heap copy of an shm view)."""

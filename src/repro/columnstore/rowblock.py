@@ -14,11 +14,13 @@ experiment E12.
 
 from __future__ import annotations
 
+import itertools
 import struct
 from typing import Iterable, Mapping
 
 from repro.columnstore.rbc import RowBlockColumn, build_rbc, rbc_extent
 from repro.columnstore.schema import Schema
+from repro.compression.decoded import DecodedColumn
 from repro.errors import CapacityError, CorruptionError, LayoutVersionError, SchemaError
 from repro.types import TIME_COLUMN, ColumnValue
 from repro.util.binary import BufferReader, BufferWriter
@@ -33,6 +35,12 @@ ROWBLOCK_MAGIC = 0x4B4C4252  # "RBLK"
 ROWBLOCK_VERSION = 1
 
 PACK_HEADER = struct.Struct("<IHHQQqqd")  # magic, ver, pad, total, rows, min, max, created
+
+#: Process-unique row block ids, handed out at construction.  The
+#: decoded-column cache keys on them: a uid is never reused, so a cache
+#: entry can never be served for a different block that happens to land
+#: at the same address (the failure mode of keying on ``id(block)``).
+_BLOCK_UIDS = itertools.count(1)
 
 
 class RowBlock:
@@ -55,6 +63,7 @@ class RowBlock:
         self.min_time = min_time
         self.max_time = max_time
         self.created_at = created_at
+        self.uid = next(_BLOCK_UIDS)
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,6 +139,37 @@ class RowBlock:
                 f"header says {self.row_count} rows"
             )
         return values
+
+    def decoded_column(self, name: str) -> DecodedColumn:
+        """Decode one column to its array form (the vectorized read path).
+
+        Unlike :meth:`to_rows` this touches only the named column's RBC
+        buffer — a query that references three of twelve columns pays
+        for three decodes.  Returns a cache-safe :class:`DecodedColumn`
+        whose arrays are fresh heap copies.
+        """
+        column = RowBlockColumn(self._rbcs[name])
+        decoded = column.decoded(self.schema.type_of(name))
+        if len(decoded) != self.row_count:
+            raise CorruptionError(
+                f"column '{name}' decodes to {len(decoded)} values; row block "
+                f"header says {self.row_count} rows"
+            )
+        return decoded
+
+    def project(self, names: Iterable[str]) -> dict[str, DecodedColumn]:
+        """Decode exactly the named columns that exist in this block.
+
+        Column projection for the vectorized executor: names absent from
+        the schema are simply omitted (the caller treats them as missing
+        everywhere, matching the row path's ``row.get``), and no row
+        dicts are ever materialized.
+        """
+        return {
+            name: self.decoded_column(name)
+            for name in names
+            if name in self.schema
+        }
 
     def to_rows(self) -> list[dict[str, ColumnValue]]:
         """Materialize all rows (column defaults included — lossy only in

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+from repro.columnstore.colcache import DecodedColumnCache
 from repro.columnstore.rowblock import MAX_ROWBLOCK_BYTES, ROWS_PER_BLOCK, RowBlock
 from repro.errors import SchemaError
 from repro.types import TIME_COLUMN, ColumnValue
@@ -43,6 +44,7 @@ class Table:
         clock: Clock | None = None,
         rows_per_block: int = ROWS_PER_BLOCK,
         max_block_bytes: int = MAX_ROWBLOCK_BYTES,
+        cache: DecodedColumnCache | None = None,
     ) -> None:
         if not name:
             raise ValueError("table name must be non-empty")
@@ -52,6 +54,7 @@ class Table:
         self._clock = clock or SystemClock()
         self._rows_per_block = rows_per_block
         self._max_block_bytes = max_block_bytes
+        self._cache = cache
         self._blocks: list[RowBlock] = []
         self._buffer: list[dict[str, ColumnValue]] = []
         self._buffer_bytes = 0
@@ -109,21 +112,25 @@ class Table:
         *maximum* timestamp has aged out.  Returns rows dropped.
         """
         kept: list[RowBlock] = []
-        dropped_rows = 0
+        dropped: list[RowBlock] = []
         for block in self._blocks:
             if block.max_time < cutoff_time:
-                dropped_rows += block.row_count
+                dropped.append(block)
             else:
                 kept.append(block)
         self._blocks = kept
+        self._invalidate_cached(dropped)
+        dropped_rows = sum(block.row_count for block in dropped)
         self.total_rows_expired += dropped_rows
         return dropped_rows
 
     def enforce_size_limit(self, max_bytes: int) -> int:
         """Drop oldest row blocks until compressed size fits ``max_bytes``."""
-        dropped_rows = 0
+        dropped: list[RowBlock] = []
         while self._blocks and self.sealed_nbytes > max_bytes:
-            dropped_rows += self._blocks.pop(0).row_count
+            dropped.append(self._blocks.pop(0))
+        self._invalidate_cached(dropped)
+        dropped_rows = sum(block.row_count for block in dropped)
         self.total_rows_expired += dropped_rows
         return dropped_rows
 
@@ -178,6 +185,21 @@ class Table:
             if _time_in_range(row[TIME_COLUMN], start_time, end_time):
                 yield dict(row)
 
+    def iter_buffer_rows(
+        self,
+        start_time: int | None = None,
+        end_time: int | None = None,
+    ) -> Iterator[dict[str, ColumnValue]]:
+        """Yield (copies of) unsealed write-buffer rows in the time range.
+
+        The vectorized executor handles sealed blocks in array form and
+        drains the row-oriented buffer through this iterator — the
+        buffer is small by construction (at most one block's worth).
+        """
+        for row in self._buffer:
+            if _time_in_range(row[TIME_COLUMN], start_time, end_time):
+                yield dict(row)
+
     def to_rows(self) -> list[dict[str, ColumnValue]]:
         """Every row in the table (for equality checks in tests)."""
         return list(self.scan())
@@ -188,6 +210,7 @@ class Table:
 
     def replace_blocks(self, blocks: list[RowBlock]) -> None:
         """Install recovered row blocks (memory or disk recovery)."""
+        self._invalidate_cached(self._blocks)
         self._blocks = list(blocks)
 
     def take_blocks(self) -> list[RowBlock]:
@@ -195,11 +218,32 @@ class Table:
 
         The caller becomes responsible for the blocks; the table is left
         empty so its heap bytes can be freed block-by-block as the copy
-        proceeds (paper, Figure 6).
+        proceeds (paper, Figure 6).  Cached decodes of the taken blocks
+        are dropped here — the copy loop is about to release each RBC's
+        heap buffer, and decoded arrays must not outlive the data they
+        were derived from.
         """
         blocks = self._blocks
         self._blocks = []
+        self._invalidate_cached(blocks)
         return blocks
+
+    # ------------------------------------------------------------------
+    # Decoded-column cache hooks
+    # ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> DecodedColumnCache | None:
+        """The decoded-column cache sealed-block queries read through."""
+        return self._cache
+
+    def set_cache(self, cache: DecodedColumnCache | None) -> None:
+        """Attach (or detach) the cache; used by the leaf map's adopt path."""
+        self._cache = cache
+
+    def _invalidate_cached(self, blocks: list[RowBlock]) -> None:
+        if self._cache is not None and blocks:
+            self._cache.invalidate_blocks(block.uid for block in blocks)
 
 
 def _time_in_range(

@@ -9,19 +9,24 @@ recording the choice as a flag word so the decoder is self-describing.
 """
 
 from repro.compression.base import CompressionFlags, EncodedColumn
+from repro.compression.decoded import DecodedColumn, DecodedKind
 from repro.compression.dictionary import dictionary_decode, dictionary_encode
 from repro.compression.intcodec import decode_int64_payload, encode_int64_payload
 from repro.compression.lzs import lz_compress, lz_decompress
 from repro.compression.pipeline import (
     decode_column,
+    decode_column_arrays,
     encode_column,
     encoded_size,
 )
 
 __all__ = [
     "CompressionFlags",
+    "DecodedColumn",
+    "DecodedKind",
     "EncodedColumn",
     "decode_column",
+    "decode_column_arrays",
     "decode_int64_payload",
     "dictionary_decode",
     "dictionary_encode",

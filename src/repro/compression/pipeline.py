@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressionFlags, EncodedColumn
+from repro.compression.decoded import DecodedColumn
 from repro.compression.dictionary import (
     decode_dictionary_entries,
     dictionary_encode,
@@ -66,23 +67,26 @@ def _encode_strings(values: list[str]) -> EncodedColumn:
     return EncodedColumn(flags, n, n_dict, dictionary, ids)
 
 
-def _decode_strings(encoded: EncodedColumn) -> list[str]:
-    flags = encoded.flags
-    if CompressionFlags.DICT in flags:
-        dictionary = encoded.dictionary
-        if CompressionFlags.DICT_LZ in flags:
-            dictionary = lz_decompress(dictionary)
-        entries = decode_dictionary_entries(dictionary, encoded.n_dict_items)
-        if encoded.n_items == 0:
-            return []
-        data = memoryview(encoded.data)
-        if len(data) < 1:
-            raise CorruptionError("string id stream missing its width byte")
-        ids = unpack_uints(data[1:], data[0], encoded.n_items)
-        if encoded.n_dict_items == 0 or int(ids.max(initial=0)) >= encoded.n_dict_items:
-            raise CorruptionError("string dictionary id out of range")
-        return [entries[i] for i in ids]
+def _parse_dict_strings(encoded: EncodedColumn) -> tuple[list[str], np.ndarray]:
+    """Dictionary-encoded string sections as ``(entries, ids)``."""
+    dictionary = encoded.dictionary
+    if CompressionFlags.DICT_LZ in encoded.flags:
+        dictionary = lz_decompress(dictionary)
+    entries = decode_dictionary_entries(dictionary, encoded.n_dict_items)
+    if encoded.n_items == 0:
+        return entries, np.empty(0, dtype=np.uint64)
+    data = memoryview(encoded.data)
+    if len(data) < 1:
+        raise CorruptionError("string id stream missing its width byte")
+    ids = unpack_uints(data[1:], data[0], encoded.n_items)
+    if encoded.n_dict_items == 0 or int(ids.max(initial=0)) >= encoded.n_dict_items:
+        raise CorruptionError("string dictionary id out of range")
+    return entries, ids
+
+
+def _decode_raw_strings(encoded: EncodedColumn) -> list[str]:
     raw = encoded.data
+    flags = encoded.flags
     if CompressionFlags.LZ in flags:
         raw = lz_decompress(raw)
     elif flags != CompressionFlags.RAW:
@@ -92,6 +96,13 @@ def _decode_strings(encoded: EncodedColumn) -> list[str]:
     if reader.remaining:
         raise CorruptionError("trailing bytes after raw string column payload")
     return values
+
+
+def _decode_strings(encoded: EncodedColumn) -> list[str]:
+    if CompressionFlags.DICT in encoded.flags:
+        entries, ids = _parse_dict_strings(encoded)
+        return [entries[i] for i in ids]
+    return _decode_raw_strings(encoded)
 
 
 def _encode_string_vectors(values: list[list[str]]) -> EncodedColumn:
@@ -112,13 +123,17 @@ def _encode_string_vectors(values: list[list[str]]) -> EncodedColumn:
     return EncodedColumn(flags, len(values), n_dict, dictionary, writer.getvalue())
 
 
-def _decode_string_vectors(encoded: EncodedColumn) -> list[list[str]]:
-    if encoded.n_items == 0:
-        return []
+def _parse_string_vectors(
+    encoded: EncodedColumn,
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """String-vector sections as ``(entries, per-row lengths, flat ids)``."""
     dictionary = encoded.dictionary
     if CompressionFlags.DICT_LZ in encoded.flags:
         dictionary = lz_decompress(dictionary)
     entries = decode_dictionary_entries(dictionary, encoded.n_dict_items)
+    if encoded.n_items == 0:
+        empty = np.empty(0, dtype=np.uint64)
+        return entries, empty, empty
     reader = BufferReader(encoded.data)
     length_width = reader.read_u8()
     n_flat = reader.read_varint()
@@ -130,13 +145,20 @@ def _decode_string_vectors(encoded: EncodedColumn) -> list[list[str]]:
             f"{n_flat} flattened items"
         )
     if n_flat == 0:
-        return [[] for _ in range(encoded.n_items)]
+        return entries, lengths, np.empty(0, dtype=np.uint64)
     id_view = reader.read_view(reader.remaining)
     if len(id_view) < 1:
         raise CorruptionError("vector id stream missing its width byte")
     ids = unpack_uints(id_view[1:], id_view[0], n_flat)
     if encoded.n_dict_items == 0 or int(ids.max(initial=0)) >= encoded.n_dict_items:
         raise CorruptionError("vector dictionary id out of range")
+    return entries, lengths, ids
+
+
+def _decode_string_vectors(encoded: EncodedColumn) -> list[list[str]]:
+    if encoded.n_items == 0:
+        return []
+    entries, lengths, ids = _parse_string_vectors(encoded)
     flat = [entries[i] for i in ids]
     out: list[list[str]] = []
     cursor = 0
@@ -175,6 +197,52 @@ def decode_column(ctype: ColumnType, encoded: EncodedColumn) -> list[ColumnValue
         return _decode_strings(encoded)
     if ctype is ColumnType.STRING_VECTOR:
         return _decode_string_vectors(encoded)
+    raise TypeError(f"unknown column type: {ctype!r}")
+
+
+def _factorize_strings(values: list[str]) -> tuple[np.ndarray, list[str]]:
+    """Assign first-appearance ids to ``values`` (raw string columns)."""
+    codes = np.empty(len(values), dtype=np.int64)
+    index: dict[str, int] = {}
+    entries: list[str] = []
+    for i, value in enumerate(values):
+        slot = index.get(value)
+        if slot is None:
+            slot = len(entries)
+            index[value] = slot
+            entries.append(value)
+        codes[i] = slot
+    return codes, entries
+
+
+def decode_column_arrays(ctype: ColumnType, encoded: EncodedColumn) -> DecodedColumn:
+    """Decode one column straight to its array form (no Python rows).
+
+    The vectorized read path: numeric columns stay as the numpy arrays
+    their codecs already produce, and string columns keep their id space
+    (dictionary-encoded ids verbatim; raw columns factorized here) so
+    predicates compare against the dictionary once instead of per row.
+    Every array is a fresh heap copy — nothing aliases the encoded
+    buffer, so the result may outlive its row block (cache-safe).
+    """
+    if ctype is ColumnType.INT64:
+        return DecodedColumn.numeric(
+            decode_int64_payload(encoded.flags, encoded.data, encoded.n_items)
+        )
+    if ctype is ColumnType.FLOAT64:
+        return DecodedColumn.numeric(
+            decode_float64_payload(encoded.flags, encoded.data, encoded.n_items)
+        )
+    if ctype is ColumnType.STRING:
+        if CompressionFlags.DICT in encoded.flags:
+            entries, ids = _parse_dict_strings(encoded)
+            return DecodedColumn.dictionary(ids.astype(np.int64), entries)
+        return DecodedColumn.dictionary(*_factorize_strings(_decode_raw_strings(encoded)))
+    if ctype is ColumnType.STRING_VECTOR:
+        entries, lengths, ids = _parse_string_vectors(encoded)
+        offsets = np.zeros(encoded.n_items + 1, dtype=np.int64)
+        np.cumsum(lengths.astype(np.int64), out=offsets[1:])
+        return DecodedColumn.vector(ids.astype(np.int64), offsets, entries)
     raise TypeError(f"unknown column type: {ctype!r}")
 
 

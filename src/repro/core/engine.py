@@ -274,6 +274,10 @@ class RestartEngine:
         report = RestartReport(method=RecoveryMethod.SHARED_MEMORY)
         self._reset_counters()
         self._fault("backup:start")
+        # Drop cached decoded columns first: they are derived data the
+        # shutdown never copies, and holding them through the copy loop
+        # would inflate the footprint the Section 4.4 invariant bounds.
+        leafmap.drop_column_cache()
         # Seal every write buffer up front (shutdown already rejects new
         # data) and make sure the tracker accounts for the heap bytes the
         # copy loop is about to free — callers that did not pre-seed the
@@ -433,6 +437,10 @@ class RestartEngine:
         """
         if len(leafmap):
             raise RecoveryError("restore requires an empty leaf map")
+        # A leaf restarting after a crash may hand over a fresh leaf map
+        # that shares the previous incarnation's cache object; whatever
+        # it still holds describes dead blocks.  Restores start cold.
+        leafmap.drop_column_cache()
         start = self.clock.now()
         leaf = LeafRestoreMachine()
         report = RestartReport(method=None)

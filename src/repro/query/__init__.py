@@ -14,7 +14,7 @@ percentiles, grouped by columns, nearly always with a predicate on
 """
 
 from repro.query.aggregate import AggState, merge_leaf_results
-from repro.query.execute import execute_on_leaf
+from repro.query.execute import execute_on_leaf, execute_on_leaf_rows
 from repro.query.query import Aggregation, Filter, Query, QueryResult, ResultRow
 from repro.query.render import render_table, render_timeseries
 
@@ -26,6 +26,7 @@ __all__ = [
     "QueryResult",
     "ResultRow",
     "execute_on_leaf",
+    "execute_on_leaf_rows",
     "merge_leaf_results",
     "render_table",
     "render_timeseries",

@@ -3,16 +3,38 @@
 A leaf scans the target table's row blocks — skipping any whose min/max
 timestamps fall outside the query's time range — applies filters, groups,
 and produces mergeable partial aggregate states.
+
+Two executors share that contract:
+
+- :func:`execute_on_leaf` (the default) is **vectorized**: for each
+  surviving block it decodes only the columns the query references
+  (time ∪ filters ∪ group_by ∪ aggregation columns) into
+  :class:`DecodedColumn` arrays — through the leaf's decoded-column
+  cache when one is attached — and runs the numpy kernels of
+  ``repro.query.kernels``.  No row dicts are ever materialized for
+  sealed blocks; only the (at most one block's worth of) unsealed
+  write-buffer rows take the row path.
+- :func:`execute_on_leaf_rows` is the original row-at-a-time loop, kept
+  as the differential-testing oracle: for any query the two must
+  produce equal partials, scan counts, and errors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
+import numpy as np
+
+from repro.columnstore.colcache import DecodedColumnCache
 from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.rowblock import RowBlock
+from repro.compression.decoded import DecodedColumn, DecodedKind
+from repro.errors import QueryError
+from repro.query import kernels
 from repro.query.aggregate import LeafPartial, new_states
 from repro.query.query import Query
-from repro.types import TIME_COLUMN
+from repro.types import TIME_COLUMN, ColumnValue
 
 
 @dataclass
@@ -25,50 +47,251 @@ class LeafExecution:
     blocks_pruned: int = 0
 
 
-def execute_on_leaf(leafmap: LeafMap, query: Query) -> LeafExecution:
+def execute_on_leaf(
+    leafmap: LeafMap,
+    query: Query,
+    cache: DecodedColumnCache | None = None,
+    vectorized: bool = True,
+) -> LeafExecution:
     """Run ``query`` against one leaf's data.
 
     A leaf that does not hold the table contributes an empty partial —
     tables are spread over many leaves and any given leaf may have none
     of a small table's rows.
+
+    ``cache`` overrides the table's attached decoded-column cache;
+    ``vectorized=False`` routes to the row-at-a-time oracle.
+    """
+    if not vectorized:
+        return execute_on_leaf_rows(leafmap, query)
+    execution = LeafExecution(partial={})
+    if query.table not in leafmap:
+        return execution
+    table = leafmap.get_table(query.table)
+    if cache is None:
+        cache = table.cache
+    needed = _needed_columns(query)
+    for block in table.blocks:
+        if not block.overlaps(query.start_time, query.end_time):
+            execution.blocks_pruned += 1
+            continue
+        _execute_block(execution, query, block, needed, cache)
+    # Fold the write buffer as its own partial and merge it, exactly as
+    # a sealed block's partial merges.  This keeps aggregate floats
+    # bit-stable across sealing: the buffer's rows accumulate from zero
+    # in row order either way (``np.bincount`` adds in input order), so
+    # a restart that seals the buffer does not move any rounding.
+    buffered = LeafExecution(partial={})
+    for row in table.iter_buffer_rows(query.start_time, query.end_time):
+        _fold_row(buffered, query, row)
+    execution.rows_scanned += buffered.rows_scanned
+    execution.rows_matched += buffered.rows_matched
+    _merge_partial(execution.partial, buffered.partial)
+    return execution
+
+
+def execute_on_leaf_rows(leafmap: LeafMap, query: Query) -> LeafExecution:
+    """Row-at-a-time reference executor (the differential-test oracle).
+
+    Walks the blocks exactly once, folding pruning statistics into the
+    same pass as the scan.
     """
     execution = LeafExecution(partial={})
     if query.table not in leafmap:
         return execution
     table = leafmap.get_table(query.table)
-
-    # Row-block pruning statistics (the scan itself prunes identically).
     for block in table.blocks:
         if not block.overlaps(query.start_time, query.end_time):
             execution.blocks_pruned += 1
-
-    for row in table.scan(query.start_time, query.end_time):
-        execution.rows_scanned += 1
-        if any(not f.matches(row) for f in query.filters):
             continue
-        execution.rows_matched += 1
-        group = tuple(row.get(column) for column in query.group_by)
-        if query.bucket_seconds is not None:
-            timestamp = row[TIME_COLUMN]
-            group = (timestamp - timestamp % query.bucket_seconds,) + group
-        states = execution.partial.get(group)
-        if states is None:
-            states = new_states(query)
-            execution.partial[group] = states
-        for agg, state in zip(query.aggregations, states):
-            if agg.func == "count":
-                state.update(None)
-            else:
-                value = row.get(agg.column)
-                state.update(value if agg.column in row else None)
+        for row in block.to_rows():
+            if _in_range(row[TIME_COLUMN], query.start_time, query.end_time):
+                _fold_row(execution, query, row)
+    for row in table.iter_buffer_rows(query.start_time, query.end_time):
+        _fold_row(execution, query, row)
     return execution
 
 
-def rows_in_time_range(leafmap: LeafMap, table: str, start: int | None, end: int | None):
-    """Raw row access with pruning (used by tests and examples)."""
+def rows_in_time_range(
+    leafmap: LeafMap, table: str, start: int | None, end: int | None
+) -> Iterator[dict[str, ColumnValue]]:
+    """Raw row access with pruning (used by tests and examples).
+
+    Always a generator: a leaf without the table yields nothing, rather
+    than handing back a bare ``iter(())`` whose concrete type differs
+    from every other call's.
+    """
     if table not in leafmap:
-        return iter(())
-    return leafmap.get_table(table).scan(start, end)
+        return
+    yield from leafmap.get_table(table).scan(start, end)
 
 
-__all__ = ["LeafExecution", "execute_on_leaf", "rows_in_time_range"]
+# ----------------------------------------------------------------------
+# Vectorized block execution
+# ----------------------------------------------------------------------
+
+
+def _needed_columns(query: Query) -> list[str]:
+    """The columns the query actually references — the projection set."""
+    needed = {TIME_COLUMN}
+    needed.update(f.column for f in query.filters)
+    needed.update(query.group_by)
+    needed.update(
+        agg.column for agg in query.aggregations if agg.func != "count"
+    )
+    return sorted(needed)
+
+
+def _execute_block(
+    execution: LeafExecution,
+    query: Query,
+    block: RowBlock,
+    needed: list[str],
+    cache: DecodedColumnCache | None,
+) -> None:
+    decoded: dict[str, DecodedColumn | None] = {}
+
+    def col(name: str) -> DecodedColumn | None:
+        # Lazy per-column decode: a block whose time mask comes up empty
+        # never pays for its filter or aggregation columns.
+        if name not in decoded:
+            if name not in block.schema:
+                decoded[name] = None
+            elif cache is not None:
+                decoded[name] = cache.get_or_decode(block, name)
+            else:
+                decoded[name] = block.decoded_column(name)
+        return decoded[name]
+
+    times = col(TIME_COLUMN).values
+    mask = kernels.time_mask(times, query.start_time, query.end_time)
+    scanned = int(np.count_nonzero(mask))
+    execution.rows_scanned += scanned
+    if not scanned:
+        return
+    for filt in query.filters:
+        # The row path short-circuits: once no row survives, the next
+        # filter is never evaluated (and so cannot raise).  Mirror that
+        # at block granularity — filter errors here are type-level, so
+        # "evaluated for any surviving row" and "evaluated at all"
+        # raise identically.
+        mask &= kernels.filter_mask(filt, col(filt.column), block.row_count)
+        if not mask.any():
+            return
+    execution.rows_matched += int(np.count_nonzero(mask))
+    sel = np.flatnonzero(mask)
+    if any(
+        (c := col(name)) is not None and c.kind is DecodedKind.VECTOR
+        for name in query.group_by
+    ):
+        # Grouping by a STRING_VECTOR column makes an unhashable key;
+        # take the row path for this block so it raises the identical
+        # TypeError the row executor would.
+        rows = block.to_rows()
+        for i in sel:
+            _fold_matched_row(execution, query, rows[int(i)])
+        return
+    factors = []
+    if query.bucket_seconds is not None:
+        bucketed = times[sel] - times[sel] % query.bucket_seconds
+        factors.append(kernels.factorize_values(bucketed))
+    for name in query.group_by:
+        factors.append(kernels.factorize_column(col(name), sel))
+    gids, keys = kernels.combine_groups(factors, sel.size)
+    n_groups = len(keys)
+    block_states = [new_states(query) for _ in keys]
+    for agg_index, agg in enumerate(query.aggregations):
+        if agg.func == "count":
+            counts = np.bincount(gids, minlength=n_groups)
+            for g in range(n_groups):
+                block_states[g][agg_index].count = int(counts[g])
+            continue
+        agg_col = col(agg.column)
+        if agg_col is None:
+            # Missing column: the row path updates with None, a no-op —
+            # the group still exists, its state stays at count 0.
+            continue
+        if agg_col.kind is not DecodedKind.NUMERIC:
+            typename = "str" if agg_col.kind is DecodedKind.DICT else "list"
+            raise QueryError(
+                f"aggregation '{agg.func}' requires numeric values, got "
+                f"{typename}"
+            )
+        values = agg_col.values[sel].astype(np.float64)
+        counts, sums, mins, maxs, starts, sorted_values = kernels.grouped_reduce(
+            gids, n_groups, values
+        )
+        keep_samples = agg.func.startswith("p")
+        for g in range(n_groups):
+            state = block_states[g][agg_index]
+            state.count = int(counts[g])
+            state.total = float(sums[g])
+            state.minimum = float(mins[g])
+            state.maximum = float(maxs[g])
+            if keep_samples:
+                stop = starts[g] + counts[g]
+                state.samples = [
+                    float(v) for v in sorted_values[starts[g] : stop]
+                ]
+    _merge_partial(execution.partial, dict(zip(keys, block_states)))
+
+
+def _merge_partial(target: LeafPartial, incoming: LeafPartial) -> None:
+    for key, states in incoming.items():
+        existing = target.get(key)
+        if existing is None:
+            target[key] = states
+        else:
+            for mine, theirs in zip(existing, states):
+                mine.merge(theirs)
+
+
+# ----------------------------------------------------------------------
+# Row-path fold (oracle, write buffer, and vector-group-by fallback)
+# ----------------------------------------------------------------------
+
+
+def _fold_row(
+    execution: LeafExecution, query: Query, row: dict[str, ColumnValue]
+) -> None:
+    execution.rows_scanned += 1
+    if any(not f.matches(row) for f in query.filters):
+        return
+    execution.rows_matched += 1
+    _fold_matched_row(execution, query, row)
+
+
+def _fold_matched_row(
+    execution: LeafExecution, query: Query, row: dict[str, ColumnValue]
+) -> None:
+    group = tuple(row.get(column) for column in query.group_by)
+    if query.bucket_seconds is not None:
+        timestamp = row[TIME_COLUMN]
+        group = (timestamp - timestamp % query.bucket_seconds,) + group
+    states = execution.partial.get(group)
+    if states is None:
+        states = new_states(query)
+        execution.partial[group] = states
+    for agg, state in zip(query.aggregations, states):
+        if agg.func == "count":
+            state.update(None)
+        else:
+            state.update(row.get(agg.column) if agg.column in row else None)
+
+
+def _in_range(
+    timestamp: ColumnValue, start: int | None, end: int | None
+) -> bool:
+    if start is not None and timestamp < start:
+        return False
+    if end is not None and timestamp >= end:
+        return False
+    return True
+
+
+__all__ = [
+    "LeafExecution",
+    "execute_on_leaf",
+    "execute_on_leaf_rows",
+    "rows_in_time_range",
+]

@@ -24,6 +24,11 @@ import threading
 from enum import Enum
 from typing import Iterable, Mapping
 
+from repro.columnstore.colcache import (
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    DecodedColumnCache,
+)
 from repro.columnstore.leafmap import LeafMap
 from repro.core.engine import RestartEngine, RestartReport
 from repro.core.watchdog import CooperativeDeadline
@@ -64,6 +69,7 @@ class LeafServer:
         version: str = "v1",
         machine_id: str | None = None,
         tracker: MemoryTracker | None = None,
+        query_cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         self.leaf_id = str(leaf_id)
         self.machine_id = machine_id if machine_id is not None else self.leaf_id
@@ -82,7 +88,18 @@ class LeafServer:
             tracker=self.tracker,
             clock=self.clock,
         )
-        self.leafmap = LeafMap(clock=self.clock, rows_per_block=rows_per_block)
+        #: The leaf-wide decoded-column cache: sealed-block queries read
+        #: through it, its bytes are charged to the tracker's "cache"
+        #: region, and every lifecycle transition that invalidates heap
+        #: data (shutdown, crash, restore) empties it.
+        self.column_cache = DecodedColumnCache(
+            query_cache_bytes, tracker=self.tracker
+        )
+        self.leafmap = LeafMap(
+            clock=self.clock,
+            rows_per_block=rows_per_block,
+            column_cache=self.column_cache,
+        )
         self.status = LeafStatus.INIT
         self.last_restart_report: RestartReport | None = None
         #: One coarse lock serializes the data plane against lifecycle
@@ -90,6 +107,13 @@ class LeafServer:
         #: requests in progress to complete" before the copy starts —
         #: holding this lock across shutdown() is exactly that wait.
         self._lock = threading.RLock()
+
+    def _new_leafmap(self) -> LeafMap:
+        return LeafMap(
+            clock=self.clock,
+            rows_per_block=self._rows_per_block,
+            column_cache=self.column_cache,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -104,7 +128,7 @@ class LeafServer:
         with self._lock:
             if self.status not in (LeafStatus.INIT, LeafStatus.DOWN):
                 raise StateError(f"cannot start a leaf in status {self.status.value}")
-            self.leafmap = LeafMap(clock=self.clock, rows_per_block=self._rows_per_block)
+            self.leafmap = self._new_leafmap()
             will_use_memory = memory_recovery_enabled and self.engine.shm_state_valid()
             self.status = (
                 LeafStatus.RECOVERING_MEMORY
@@ -154,7 +178,10 @@ class LeafServer:
                 self.status = LeafStatus.DOWN
                 raise
         else:
-            self.leafmap = LeafMap(clock=self.clock, rows_per_block=self._rows_per_block)
+            # Disk-only shutdown discards the heap wholesale; cached
+            # decodes of the discarded blocks must not stay charged.
+            self.column_cache.clear()
+            self.leafmap = self._new_leafmap()
         self.status = LeafStatus.DOWN
         return report
 
@@ -166,9 +193,8 @@ class LeafServer:
         disk (the paper never trusts shared memory after a crash).
         """
         with self._lock:
-            self.leafmap = LeafMap(
-                clock=self.clock, rows_per_block=self._rows_per_block
-            )
+            self.column_cache.clear()
+            self.leafmap = self._new_leafmap()
             self.status = LeafStatus.DOWN
 
     # ------------------------------------------------------------------
@@ -216,6 +242,12 @@ class LeafServer:
                     f"{self.status.value}"
                 )
             return execute_on_leaf(self.leafmap, query)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Decoded-column cache counters (hit rate, bytes, evictions)."""
+        with self._lock:
+            return self.column_cache.stats()
 
     # ------------------------------------------------------------------
     # Maintenance

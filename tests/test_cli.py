@@ -60,6 +60,32 @@ class TestBenchRestart:
         assert "faster" in out
 
 
+class TestBenchQuery:
+    def test_reports_speedups_and_cache(self, capsys):
+        assert main(["bench-query", "--rows", "3000", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "grouped-aggregation" in out
+        assert "vectorized cold" in out
+        assert "cache:" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_e13.json"
+        assert main(
+            ["bench-query", "--rows", "3000", "--repeats", "1", "--json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "E13"
+        assert payload["rows"] == 3000
+        assert payload["min_speedup"] > 0
+        assert {q["query"] for q in payload["queries"]} == {
+            "grouped-aggregation",
+            "filtered-count",
+            "time-window-buckets",
+        }
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

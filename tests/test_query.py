@@ -74,9 +74,39 @@ class TestFilters:
     def test_missing_column_never_matches(self):
         assert not Filter("ghost", "eq", 1).matches({"v": 1})
 
+    def test_ne_on_absent_column_is_false(self):
+        # Deliberate three-valued-logic choice: an absent column matches
+        # NO predicate, not even "not equal" — absence is not inequality.
+        assert not Filter("ghost", "ne", 1).matches({"v": 1})
+        assert not Filter("ghost", "ne", None).matches({"v": 1})
+
+    def test_none_value_comparisons(self):
+        row = {"v": 5}
+        assert not Filter("v", "eq", None).matches(row)
+        assert Filter("v", "ne", None).matches(row)
+        with pytest.raises(TypeError):
+            Filter("v", "lt", None).matches(row)
+
+    def test_none_stored_value(self):
+        # A raw (unsealed) row can carry None; eq/ne treat it as a value.
+        row = {"v": None}
+        assert Filter("v", "eq", None).matches(row)
+        assert not Filter("v", "ne", None).matches(row)
+        assert not Filter("v", "eq", 0).matches(row)
+
     def test_contains_on_scalar_raises(self):
         with pytest.raises(QueryError):
             Filter("v", "contains", "x").matches({"v": 5})
+
+    def test_contains_error_names_column_and_type(self):
+        with pytest.raises(QueryError, match="'v' holds int"):
+            Filter("v", "contains", "x").matches({"v": 5})
+
+    def test_in_with_string_value_is_substring(self):
+        # Python's `in` on a string is substring containment; the filter
+        # inherits that, and the vectorized path must too.
+        assert Filter("s", "in", "abc").matches({"s": "ab"})
+        assert not Filter("s", "in", "abc").matches({"s": "ac"})
 
 
 class TestExecution:

@@ -1,0 +1,461 @@
+"""Vectorized execution: kernels, the decoded-column cache, and the
+row-path differential oracle.
+
+The contract under test: for any query, :func:`execute_on_leaf` (the
+vectorized default) and :func:`execute_on_leaf_rows` (the original
+row-at-a-time loop) produce equal partials, equal scan statistics, and
+equal errors — and the cache never changes an answer, only its cost.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnstore.colcache import CACHE_REGION, DecodedColumnCache
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod
+from repro.disk.backup import DiskBackup
+from repro.errors import QueryError
+from repro.query.aggregate import merge_leaf_results
+from repro.query.execute import (
+    execute_on_leaf,
+    execute_on_leaf_rows,
+    rows_in_time_range,
+)
+from repro.query.query import Aggregation, Filter, Query
+from repro.server.leaf import LeafServer
+from repro.util.clock import ManualClock
+from repro.util.memtrack import MemoryTracker
+
+ROWS_PER_BLOCK = 25
+
+
+def make_map(rows=120, rows_per_block=ROWS_PER_BLOCK, cache=None):
+    """Mixed-type table: several sealed blocks plus a buffer remainder."""
+    leafmap = LeafMap(
+        clock=ManualClock(0.0), rows_per_block=rows_per_block, column_cache=cache
+    )
+    table = leafmap.get_or_create("service_requests")
+    table.add_rows(
+        {
+            "time": 1000 + i,
+            "endpoint": f"/api/{i % 5}",
+            "latency": float(i % 90) + 0.25,
+            "status": 200 if i % 7 else 503,
+            "tags": ["prod"] + (["canary"] if i % 3 == 0 else []),
+        }
+        for i in range(rows)
+    )
+    return leafmap
+
+
+def assert_equivalent(leafmap, query):
+    """Vectorized and row-path executions agree on everything."""
+    fast = execute_on_leaf(leafmap, query)
+    slow = execute_on_leaf_rows(leafmap, query)
+    assert fast.blocks_pruned == slow.blocks_pruned
+    assert fast.rows_scanned == slow.rows_scanned
+    assert fast.rows_matched == slow.rows_matched
+    merged_fast = merge_leaf_results(query, [fast.partial], 1)
+    merged_slow = merge_leaf_results(query, [slow.partial], 1)
+    assert [r.group for r in merged_fast.rows] == [
+        r.group for r in merged_slow.rows
+    ]
+    for lhs, rhs in zip(merged_fast.rows, merged_slow.rows):
+        for label, value in rhs.values.items():
+            got = lhs.values[label]
+            if isinstance(value, float):
+                # Block-partitioned float sums round differently in the
+                # last bits than one sequential accumulation.
+                assert got == pytest.approx(value, rel=1e-9, abs=1e-12), label
+            else:
+                assert got == value, label
+    return fast, slow
+
+
+class TestDifferentialExplicit:
+    def test_count_only(self):
+        fast, _ = assert_equivalent(make_map(), Query("service_requests"))
+        assert fast.partial[()][0].count == 120
+
+    def test_all_aggregations_grouped(self):
+        query = Query(
+            "service_requests",
+            aggregations=(
+                Aggregation("count"),
+                Aggregation("sum", "latency"),
+                Aggregation("avg", "latency"),
+                Aggregation("min", "latency"),
+                Aggregation("max", "latency"),
+                Aggregation("p50", "latency"),
+                Aggregation("p90", "latency"),
+            ),
+            group_by=("endpoint",),
+        )
+        assert_equivalent(make_map(), query)
+
+    def test_filters_on_every_type(self):
+        query = Query(
+            "service_requests",
+            filters=(
+                Filter("status", "eq", 200),
+                Filter("endpoint", "ne", "/api/3"),
+                Filter("latency", "lt", 60.0),
+                Filter("tags", "contains", "canary"),
+            ),
+        )
+        fast, slow = assert_equivalent(make_map(), query)
+        assert fast.rows_matched == slow.rows_matched > 0
+
+    def test_in_filter_string_and_numeric(self):
+        for filt in (
+            Filter("endpoint", "in", ("/api/1", "/api/4", "/nope")),
+            Filter("status", "in", (503, 999)),
+            Filter("status", "in", ("not-a-status", 200)),
+        ):
+            assert_equivalent(
+                make_map(), Query("service_requests", filters=(filt,))
+            )
+
+    def test_time_range_and_buckets(self):
+        query = Query(
+            "service_requests",
+            start_time=1055,
+            end_time=1090,
+            bucket_seconds=30,
+            group_by=("endpoint",),
+        )
+        fast, _ = assert_equivalent(make_map(), query)
+        assert fast.blocks_pruned > 0
+
+    def test_group_by_numeric_and_missing_column(self):
+        query = Query(
+            "service_requests",
+            group_by=("status", "ghost"),
+            aggregations=(Aggregation("count"), Aggregation("sum", "ghost")),
+        )
+        fast, _ = assert_equivalent(make_map(), query)
+        assert all(key[1] is None for key in fast.partial)
+
+    def test_filter_on_missing_column_matches_nothing(self):
+        for op in ("eq", "ne", "lt", "in"):
+            value = (1,) if op == "in" else 1
+            query = Query(
+                "service_requests", filters=(Filter("ghost", op, value),)
+            )
+            fast, slow = assert_equivalent(make_map(), query)
+            assert fast.rows_matched == 0
+
+    def test_contains_on_scalar_column_raises_identically(self):
+        query = Query(
+            "service_requests", filters=(Filter("status", "contains", "x"),)
+        )
+        with pytest.raises(QueryError) as fast_err:
+            execute_on_leaf(make_map(), query)
+        with pytest.raises(QueryError) as slow_err:
+            execute_on_leaf_rows(make_map(), query)
+        assert str(fast_err.value) == str(slow_err.value)
+
+    def test_contains_on_string_column_raises_identically(self):
+        query = Query(
+            "service_requests", filters=(Filter("endpoint", "contains", "x"),)
+        )
+        with pytest.raises(QueryError) as fast_err:
+            execute_on_leaf(make_map(), query)
+        with pytest.raises(QueryError) as slow_err:
+            execute_on_leaf_rows(make_map(), query)
+        assert str(fast_err.value) == str(slow_err.value)
+
+    def test_aggregating_string_column_raises_identically(self):
+        query = Query(
+            "service_requests", aggregations=(Aggregation("sum", "endpoint"),)
+        )
+        with pytest.raises(QueryError) as fast_err:
+            execute_on_leaf(make_map(), query)
+        with pytest.raises(QueryError) as slow_err:
+            execute_on_leaf_rows(make_map(), query)
+        assert str(fast_err.value) == str(slow_err.value)
+
+    def test_group_by_vector_column_raises_identically(self):
+        query = Query("service_requests", group_by=("tags",))
+        with pytest.raises(TypeError):
+            execute_on_leaf(make_map(), query)
+        with pytest.raises(TypeError):
+            execute_on_leaf_rows(make_map(), query)
+
+    def test_vectorized_false_routes_to_row_path(self):
+        query = Query("service_requests", group_by=("endpoint",))
+        by_flag = execute_on_leaf(make_map(), query, vectorized=False)
+        oracle = execute_on_leaf_rows(make_map(), query)
+        assert by_flag.partial.keys() == oracle.partial.keys()
+        assert by_flag.rows_scanned == oracle.rows_scanned
+
+
+FILTER_STRATEGY = st.one_of(
+    st.builds(
+        Filter,
+        st.just("status"),
+        st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+        st.sampled_from([200, 503, 300]),
+    ),
+    st.builds(
+        Filter,
+        st.just("endpoint"),
+        st.sampled_from(["eq", "ne", "lt", "ge"]),
+        st.sampled_from(["/api/0", "/api/3", "/zzz"]),
+    ),
+    st.builds(
+        Filter,
+        st.just("endpoint"),
+        st.just("in"),
+        st.sets(
+            st.sampled_from(["/api/0", "/api/1", "/api/2", "/nope"]), max_size=3
+        ).map(tuple),
+    ),
+    st.builds(
+        Filter,
+        st.just("tags"),
+        st.just("contains"),
+        st.sampled_from(["prod", "canary", "absent"]),
+    ),
+    st.builds(
+        Filter, st.just("ghost"), st.sampled_from(["eq", "ne"]), st.just(1)
+    ),
+)
+
+
+class TestDifferentialProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=130),
+        filters=st.lists(FILTER_STRATEGY, max_size=3).map(tuple),
+        group_by=st.sets(
+            st.sampled_from(["endpoint", "status", "ghost"]), max_size=2
+        ).map(tuple),
+        start=st.one_of(st.none(), st.integers(min_value=990, max_value=1130)),
+        width=st.one_of(st.none(), st.integers(min_value=0, max_value=120)),
+        bucket=st.one_of(st.none(), st.sampled_from([7, 30, 60])),
+        agg_column=st.sampled_from(["latency", "status", "ghost"]),
+    )
+    def test_row_and_vectorized_paths_agree(
+        self, rows, filters, group_by, start, width, bucket, agg_column
+    ):
+        """Property: the vectorized executor is indistinguishable from
+        the row-at-a-time oracle on any query it can answer."""
+        end = None if (start is None or width is None) else start + width
+        query = Query(
+            "service_requests",
+            aggregations=(
+                Aggregation("count"),
+                Aggregation("sum", agg_column),
+                Aggregation("min", agg_column),
+                Aggregation("max", agg_column),
+                Aggregation("p50", agg_column),
+            ),
+            group_by=group_by,
+            filters=filters,
+            start_time=start,
+            end_time=end,
+            bucket_seconds=bucket,
+        )
+        assert_equivalent(make_map(rows), query)
+
+
+class TestDecodedColumnCache:
+    def query(self):
+        return Query(
+            "service_requests",
+            aggregations=(Aggregation("count"), Aggregation("avg", "latency")),
+            group_by=("endpoint",),
+            filters=(Filter("status", "eq", 200),),
+        )
+
+    def test_cache_populates_and_hits(self):
+        cache = DecodedColumnCache(1 << 20)
+        leafmap = make_map(cache=cache)
+        first = execute_on_leaf(leafmap, self.query())
+        assert len(cache) > 0
+        assert cache.stats().misses > 0
+        misses_after_first = cache.stats().misses
+        second = execute_on_leaf(leafmap, self.query())
+        stats = cache.stats()
+        assert stats.misses == misses_after_first  # fully warm
+        assert stats.hits > 0
+        assert stats.hit_rate > 0
+        merged_first = merge_leaf_results(self.query(), [first.partial], 1)
+        merged_second = merge_leaf_results(self.query(), [second.partial], 1)
+        assert [(r.group, r.values) for r in merged_first.rows] == [
+            (r.group, r.values) for r in merged_second.rows
+        ]
+
+    def test_cached_answers_equal_uncached(self):
+        cached = execute_on_leaf(
+            make_map(cache=DecodedColumnCache(1 << 20)), self.query()
+        )
+        plain = execute_on_leaf(make_map(), self.query())
+        assert cached.partial.keys() == plain.partial.keys()
+        for key in plain.partial:
+            for lhs, rhs in zip(cached.partial[key], plain.partial[key]):
+                assert lhs.to_dict() == rhs.to_dict()
+
+    def test_byte_cap_evicts_lru(self):
+        cache = DecodedColumnCache(0)
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        # Every entry is larger than the zero cap: nothing is retained.
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+        small = DecodedColumnCache(2000)
+        leafmap = make_map(cache=small)
+        execute_on_leaf(leafmap, self.query())
+        assert small.nbytes <= 2000
+        assert small.stats().evictions > 0 or len(small) > 0
+
+    def test_tracker_charged_and_discharged(self):
+        tracker = MemoryTracker()
+        cache = DecodedColumnCache(1 << 20, tracker=tracker)
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        assert tracker.in_region(CACHE_REGION) == cache.nbytes > 0
+        freed = cache.clear()
+        assert freed > 0
+        assert tracker.in_region(CACHE_REGION) == 0
+
+    def test_expiry_invalidates_entries(self):
+        cache = DecodedColumnCache(1 << 20)
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        before = len(cache)
+        table = leafmap.get_table("service_requests")
+        dropped = table.expire_before(1000 + 2 * ROWS_PER_BLOCK)
+        assert dropped > 0
+        assert len(cache) < before
+        assert cache.stats().invalidations > 0
+        # Post-expiry queries still agree with the oracle.
+        assert_equivalent(leafmap, self.query())
+
+    def test_take_blocks_invalidates_entries(self):
+        cache = DecodedColumnCache(1 << 20)
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        assert len(cache) > 0
+        leafmap.get_table("service_requests").take_blocks()
+        assert len(cache) == 0
+
+    def test_drop_table_invalidates_entries(self):
+        cache = DecodedColumnCache(1 << 20)
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        assert len(cache) > 0
+        leafmap.drop_table("service_requests")
+        assert len(cache) == 0
+
+    def test_enforce_size_limit_invalidates_entries(self):
+        cache = DecodedColumnCache(1 << 20)
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        table = leafmap.get_table("service_requests")
+        table.enforce_size_limit(0)
+        # All sealed blocks gone; only buffer-backed entries could
+        # remain, and no entries are made for buffer rows.
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DecodedColumnCache(-1)
+
+
+class TestCacheAcrossRestart:
+    def test_cache_dropped_at_shutdown_and_cold_after_restore(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """The restart protocol's cache lifecycle: populated while
+        serving, emptied before the Figure-6 copy loop (its bytes never
+        count against the restart footprint), and rebuilt cold after
+        restore — with identical query answers."""
+        leaf = LeafServer(
+            "leaf0",
+            DiskBackup(tmp_path / "backup"),
+            namespace=shm_namespace,
+            clock=clock,
+            rows_per_block=ROWS_PER_BLOCK,
+        )
+        leaf.start()
+        leaf.add_rows(
+            "service_requests",
+            [
+                {
+                    "time": 1000 + i,
+                    "endpoint": f"/api/{i % 5}",
+                    "latency": float(i % 90),
+                }
+                for i in range(4 * ROWS_PER_BLOCK)
+            ],
+        )
+        query = Query(
+            "service_requests",
+            aggregations=(Aggregation("count"), Aggregation("avg", "latency")),
+            group_by=("endpoint",),
+        )
+        before = leaf.query(query)
+        assert len(leaf.column_cache) > 0
+        assert leaf.tracker.in_region(CACHE_REGION) > 0
+
+        leaf.shutdown(use_shm=True)
+        assert len(leaf.column_cache) == 0
+        assert leaf.tracker.in_region(CACHE_REGION) == 0
+
+        report = leaf.start()
+        assert report.method is RecoveryMethod.SHARED_MEMORY
+        # Restore rebuilds blocks; the cache must start cold.
+        assert len(leaf.column_cache) == 0
+        after = leaf.query(query)
+        assert len(leaf.column_cache) > 0
+        before_rows = merge_leaf_results(query, [before.partial], 1).rows
+        after_rows = merge_leaf_results(query, [after.partial], 1).rows
+        assert [(r.group, r.values) for r in before_rows] == [
+            (r.group, r.values) for r in after_rows
+        ]
+        leaf.shutdown(use_shm=False)
+
+    def test_crash_clears_cache(self, tmp_path, clock, shm_namespace):
+        leaf = LeafServer(
+            "leaf1",
+            DiskBackup(tmp_path / "backup"),
+            namespace=shm_namespace,
+            clock=clock,
+            rows_per_block=ROWS_PER_BLOCK,
+        )
+        leaf.start()
+        leaf.add_rows(
+            "service_requests",
+            [{"time": 1000 + i, "latency": float(i)} for i in range(60)],
+        )
+        leaf.query(Query("service_requests", aggregations=(Aggregation("sum", "latency"),)))
+        assert len(leaf.column_cache) > 0
+        leaf.crash()
+        assert len(leaf.column_cache) == 0
+        assert leaf.tracker.in_region(CACHE_REGION) == 0
+
+
+class TestRowsInTimeRange:
+    def test_always_a_generator(self):
+        """Both the table-present and table-absent paths hand back the
+        same shape — previously the absent path returned a bare
+        ``iter(())`` while the present path returned a generator."""
+        leafmap = make_map(10)
+        present = rows_in_time_range(leafmap, "service_requests", None, None)
+        absent = rows_in_time_range(leafmap, "nope", None, None)
+        assert type(present).__name__ == "generator"
+        assert type(absent).__name__ == "generator"
+        assert len(list(present)) == 10
+        assert list(absent) == []
+
+    def test_respects_time_bounds(self):
+        leafmap = make_map(100)
+        rows = list(
+            rows_in_time_range(leafmap, "service_requests", 1020, 1030)
+        )
+        assert len(rows) == 10
+        assert all(1020 <= row["time"] < 1030 for row in rows)
