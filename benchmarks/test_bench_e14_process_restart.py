@@ -5,7 +5,18 @@ old *process* dies and the replacement *process* recovers, so the
 measurement includes interpreter startup, the §4.3 wait-for-death loop,
 and the JSON control channel — everything a real deploy pays besides
 the data copy itself.
+
+``test_upgrade_handoff_old_to_new_process`` is the paper's rollover in
+miniature: the serving process shuts down into shared memory and is
+replaced — in place via ``os.execv`` (same pid, new image) and via the
+supervisor (new pid) — with a new ``--version``, and the data's content
+digest must cross the swap untouched.  Set ``BENCH_E14_JSON`` to a path
+to archive the measurements (CI uploads it as ``BENCH_e14.json``).
 """
+
+import json
+import os
+import time
 
 import pytest
 
@@ -14,12 +25,13 @@ from repro.server.process_client import LeafProcess, LeafProcessConfig
 N_ROWS = 8_000
 
 
-def config(shm_namespace, tmp_path, leaf_id="b"):
+def config(shm_namespace, tmp_path, leaf_id="b", supervised=False):
     return LeafProcessConfig(
         leaf_id=leaf_id,
         backup_dir=tmp_path / f"leaf-{leaf_id}",
         namespace=shm_namespace,
         rows_per_block=2048,
+        supervised=supervised,
     )
 
 
@@ -69,6 +81,59 @@ def test_process_restart_via_disk(benchmark, shm_namespace, tmp_path, record_res
     record_result("E14", "process restart via disk snapshot (incl. spawn)",
                   "minutes at scale",
                   f"{benchmark.stats['mean']:.2f} s wall (scaled)")
+
+
+@pytest.mark.slow
+def test_upgrade_handoff_old_to_new_process(shm_namespace, tmp_path, record_result):
+    """The real rollover handoff, both mechanisms, checksums matching."""
+    results = {}
+    for mode, supervised, leaf_id in (("execv", False, "x"), ("exit", True, "s")):
+        leaf = LeafProcess(
+            config(shm_namespace, tmp_path, leaf_id=leaf_id, supervised=supervised),
+            request_timeout=60.0,
+        )
+        leaf.spawn()
+        leaf.add_rows(
+            "events", [{"time": i, "v": float(i % 11)} for i in range(N_ROWS)]
+        )
+        before = leaf.status()
+        digest = leaf.digest()
+        started = time.perf_counter()
+        handoff = leaf.restart(mode=mode, version="v2")
+        seconds = time.perf_counter() - started
+        after = leaf.status()
+        assert handoff["handoff"]["used_shm"] is True
+        assert handoff["start"]["method"] == "shared_memory"
+        assert handoff["start"]["rows"] == N_ROWS
+        assert after["incarnation"] != before["incarnation"]
+        if mode == "execv":
+            assert after["pid"] == before["pid"], "execv keeps the pid"
+        else:
+            assert after["pid"] != before["pid"], "the supervisor respawns"
+        assert after["version"] == "v2"
+        assert leaf.digest() == digest, "the upgrade must not change the data"
+        leaf.shutdown(use_shm=False)
+        results[mode] = {
+            "seconds": seconds,
+            "pid_before": before["pid"],
+            "pid_after": after["pid"],
+            "incarnation_changed": True,
+            "version_after": after["version"],
+            "bytes_copied": handoff["handoff"]["bytes_copied"],
+            "digest_matched": True,
+        }
+        record_result(
+            "E14",
+            f"old->new process upgrade handoff ({mode} mode)",
+            "2-3 min slot at scale",
+            f"{seconds:.2f} s wall (scaled), digest matched, "
+            f"pid {before['pid']} -> {after['pid']}",
+        )
+    artifact = os.environ.get("BENCH_E14_JSON")
+    if artifact:
+        payload = {"experiment": "E14", "rows": N_ROWS, "handoffs": results}
+        with open(artifact, "w") as fh:
+            json.dump(payload, fh, indent=2)
 
 
 @pytest.mark.slow

@@ -182,7 +182,14 @@ def _bench_disk_tier(args: argparse.Namespace, namespace: str) -> int:
 
 def _bench_parallel_restart(args: argparse.Namespace, namespace: str) -> int:
     """``bench-restart --workers N``: a whole machine restarting in
-    parallel (experiment E15), plus the simulator's prediction."""
+    parallel (experiment E15), plus the simulator's prediction.
+
+    ``--backend both`` runs the thread pool and the process pool on the
+    same data and reports the process/thread speedup; ``--json`` writes
+    the measurements for CI to archive (the ``BENCH_e15.json`` artifact).
+    """
+    import json as json_module
+    import os
     import tempfile
 
     from repro.server.machine import Machine
@@ -190,6 +197,11 @@ def _bench_parallel_restart(args: argparse.Namespace, namespace: str) -> int:
 
     leaves = max(1, args.leaves)
     workers = max(1, args.workers)
+    backends = (
+        ["thread", "process"] if args.backend == "both" else [args.backend]
+    )
+    results = []
+    exit_code = 0
     with tempfile.TemporaryDirectory() as tmp:
         machine = Machine(
             "cli",
@@ -210,28 +222,77 @@ def _bench_parallel_restart(args: argparse.Namespace, namespace: str) -> int:
             f"{data_bytes / 1e6:.2f} MB compressed, {workers} workers"
         )
         budget = int(args.budget_mb * 1_000_000) if args.budget_mb else None
-        report = machine.restart_all(workers=workers, budget_bytes=budget)
-        failures = report.failures
-        print(f"parallel shutdown: {report.shutdown_seconds * 1000:.1f} ms")
-        print(f"parallel restore:  {report.restore_seconds * 1000:.1f} ms")
-        if budget:
-            print(
-                f"peak in-flight:    {report.peak_in_flight_bytes / 1e6:.2f} MB "
-                f"(budget {args.budget_mb} MB)"
+        for backend in backends:
+            report = machine.restart_all(
+                workers=workers, budget_bytes=budget, backend=backend
             )
+            failures = report.failures
+            print(f"[{backend}] parallel shutdown: "
+                  f"{report.shutdown_seconds * 1000:.1f} ms")
+            print(f"[{backend}] parallel restore:  "
+                  f"{report.restore_seconds * 1000:.1f} ms")
+            if backend == "process":
+                print(f"[{backend}] adopt (harness):   "
+                      f"{report.adopt_seconds * 1000:.1f} ms")
+            if budget:
+                print(
+                    f"[{backend}] peak in-flight:    "
+                    f"{report.peak_in_flight_bytes / 1e6:.2f} MB "
+                    f"(budget {args.budget_mb} MB)"
+                )
+            results.append(
+                {
+                    "backend": backend,
+                    "workers": workers,
+                    "leaves": leaves,
+                    "shutdown_seconds": report.shutdown_seconds,
+                    "restore_seconds": report.restore_seconds,
+                    "adopt_seconds": report.adopt_seconds,
+                    "restart_window_seconds": report.restart_window_seconds,
+                    "peak_in_flight_bytes": report.peak_in_flight_bytes,
+                    "budget_bytes": budget,
+                    "failures": len(failures),
+                }
+            )
+            for outcome in failures:
+                print(f"[{backend}] leaf {outcome.leaf_id} FAILED: "
+                      f"{outcome.error}")
+                exit_code = 1
         if machine.tracker is not None:
             print(f"peak footprint:    {machine.tracker.peak_total / 1e6:.2f} MB")
+        speedup = None
+        if len(results) == 2:
+            thread_window = results[0]["restart_window_seconds"]
+            process_window = results[1]["restart_window_seconds"]
+            speedup = thread_window / max(process_window, 1e-9)
+            print(
+                f"process backend was {speedup:.2f}x the thread backend "
+                f"({os.cpu_count() or 1} cores on this host)"
+            )
         profile = paper_profile()
         print(
             f"simulator: {workers}-wide restore of a paper-scale machine is "
-            f"{profile.parallel_restore_speedup(workers):.1f}x sequential "
-            f"(ceiling {profile.mem_total_gbps / profile.mem_copy_gbps:.0f}x)"
+            f"{profile.parallel_restore_speedup(workers, 'process'):.1f}x "
+            f"sequential via processes, "
+            f"{profile.parallel_restore_speedup(workers, 'thread'):.1f}x via "
+            f"threads (bandwidth ceiling "
+            f"{profile.mem_total_gbps / profile.mem_copy_gbps:.0f}x)"
         )
-        if failures:
-            for outcome in failures:
-                print(f"leaf {outcome.leaf_id} FAILED: {outcome.error}")
-            return 1
-    return 0
+        if args.json:
+            payload = {
+                "experiment": "E15",
+                "rows": args.rows,
+                "leaves": leaves,
+                "workers": workers,
+                "compressed_bytes": data_bytes,
+                "cpu_count": os.cpu_count() or 1,
+                "backends": results,
+                "process_over_thread_speedup": speedup,
+            }
+            with open(args.json, "w") as fh:
+                json_module.dump(payload, fh, indent=2)
+            print(f"wrote {args.json}")
+    return exit_code
 
 
 def cmd_bench_query(args: argparse.Namespace) -> int:
@@ -410,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="leaves on the machine for --workers mode")
     p.add_argument("--budget-mb", type=float, default=None,
                    help="machine-wide in-flight copy budget for --workers mode")
+    p.add_argument("--backend", choices=("thread", "process", "both"),
+                   default="thread",
+                   help="restart pool backend for --workers mode; 'both' "
+                   "runs each and reports the process/thread speedup")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write --workers mode measurements as JSON "
+                   "(the BENCH_e15.json artifact)")
     p.add_argument("--disk-tier", action="store_true",
                    help="compare legacy row-format replay against the "
                    "shm-format snapshot tier (E12), incl. torn-file fallback")

@@ -95,6 +95,7 @@ FAULT_POINTS = (
     "backup:before_valid",
     "restore:start",
     "restore:after_invalidate",
+    "restore:in_window",
     "restore:table",
     "restore:snapshot_table",
     "restore:before_finish",
@@ -205,6 +206,14 @@ class RestartEngine:
     def _track_heap_free(self, nbytes: int) -> None:
         self.tracker.free("heap", nbytes, at=self.clock.now())
         self._engine_heap = max(0, self._engine_heap - nbytes)
+
+    def forget_heap(self) -> None:
+        """Drop this engine's heap charge from the (possibly shared)
+        tracker without copying anything — the accounting counterpart of
+        a worker process taking the heap down with it on exit."""
+        if self._engine_heap:
+            self.tracker.free("heap", self._engine_heap, at=self.clock.now())
+            self._engine_heap = 0
 
     def _reset_counters(self) -> None:
         self._rbc_copies = 0
@@ -428,12 +437,22 @@ class RestartEngine:
         self,
         leafmap: LeafMap,
         memory_recovery_enabled: bool = True,
+        preserve_shm: bool = False,
     ) -> RestartReport:
         """Restore this leaf's data into an empty ``leafmap``.
 
         Attempts shared memory recovery when it is enabled and the valid
         bit is set; otherwise — or on any exception mid-copy — falls back
         to disk recovery, per Figure 5(b).
+
+        ``preserve_shm`` is the process-backend variant: the restore
+        runs in a forked worker whose address space is about to vanish,
+        so instead of consuming the segments it decodes and verifies
+        every block into ``leafmap`` (paying the same copy cost), then
+        sets the valid bit back to True and *keeps* the segments for the
+        serving process to adopt.  The invalidate-first step still runs,
+        so a worker killed mid-restore leaves the valid bit down and the
+        next attempt walks the disk ladder — crash safety is identical.
         """
         if len(leafmap):
             raise RecoveryError("restore requires an empty leaf map")
@@ -477,9 +496,16 @@ class RestartEngine:
         try:
             meta.set_valid(False)  # an interrupted restore must go to disk
             self._fault("restore:after_invalidate")
-            self._restore_from_segments(meta, leafmap, report)
+            self._restore_from_segments(
+                meta, leafmap, report, preserve_shm=preserve_shm
+            )
             self._fault("restore:before_finish")
-            meta.unlink()
+            if preserve_shm:
+                # Verified end to end: re-arm the state for the adopter.
+                meta.set_valid(True)
+                meta.close()
+            else:
+                meta.unlink()
             report.method = RecoveryMethod.SHARED_MEMORY
         except Exception:
             # Figure 5(b): MEMORY RECOVERY --exception--> DISK RECOVERY.
@@ -531,7 +557,11 @@ class RestartEngine:
             leafmap.drop_table(table_name)
 
     def _restore_from_segments(
-        self, meta: LeafMetadata, leafmap: LeafMap, report: RestartReport
+        self,
+        meta: LeafMetadata,
+        leafmap: LeafMap,
+        report: RestartReport,
+        preserve_shm: bool = False,
     ) -> None:
         records = meta.records
         # A fresh process's tracker has no "shm" region yet; charge the
@@ -553,6 +583,8 @@ class RestartEngine:
             segment: ShmSegment | None = None
             pending = 0  # heap bytes tracked but not yet installed in a table
             try:
+                # Inside the copy window: the reservation above is held.
+                self._fault("restore:in_window")
                 segment = ShmSegment.attach(record.segment_name)
                 table = leafmap.create_table(record.table_name)
                 blocks = []
@@ -581,9 +613,13 @@ class RestartEngine:
                 table.total_rows_ingested = record.rows_ingested
                 table.total_rows_expired = record.rows_expired
                 report.tables += 1
-                # "delete the table shared memory segment"
-                self.tracker.free("shm", segment.size, at=self.clock.now())
-                segment.unlink()
+                if preserve_shm:
+                    # The adopter consumes the segment; only drop the map.
+                    segment.close()
+                else:
+                    # "delete the table shared memory segment"
+                    self.tracker.free("shm", segment.size, at=self.clock.now())
+                    segment.unlink()
             except Exception:
                 # Un-track blocks that were decoded but never installed,
                 # and drop the local attach so the mapping is not leaked

@@ -13,13 +13,20 @@ capped by a :class:`FootprintBudget`, so the machine's peak stays at
 
 rather than growing by one full table segment per concurrent leaf.
 
-Threads, not processes: each leaf's engine spends its time in bulk
-``memoryview`` copies and segment syscalls, and the coordination cost of
-a pool is negligible against the per-leaf copy time.  The per-leaf
-protocol is untouched — :class:`ParallelRestartCoordinator` only decides
-*when* each leaf's existing ``backup_to_shm``/``restore`` runs, so every
-single-leaf invariant (valid bit last, disk fallback on exception) holds
-unchanged, and one leaf's failure never poisons its siblings.
+Two backends share that contract.  ``backend="thread"`` (the default)
+fans the leaves over a thread pool: cheap, in-process, but the bulk
+copies are pure-Python ``memoryview`` writes that hold the GIL, so the
+streams largely serialize.  ``backend="process"`` forks a worker-process
+pool — each worker attaches the machine's *named* shm segments with
+``ShmSegment.attach`` and runs its leaves' copies under its own GIL, so
+the streams are truly concurrent; the footprint invariant then has to
+hold across address spaces, which is what
+:class:`~repro.core.sharedbudget.SharedFootprintBudget` is for (see
+:mod:`repro.core.procpool`).  The per-leaf protocol is untouched either
+way — the coordinator only decides *when* and *where* each leaf's
+existing ``backup_to_shm``/``restore`` runs, so every single-leaf
+invariant (valid bit last, disk fallback on exception) holds unchanged,
+and one leaf's failure never poisons its siblings.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.core.watchdog import CooperativeDeadline
 
 if TYPE_CHECKING:  # circular at runtime: engine imports FootprintBudget
     from repro.core.engine import RestartReport
+    from repro.core.sharedbudget import SharedFootprintBudget
     from repro.server.leaf import LeafServer
 
 
@@ -47,6 +55,14 @@ class FootprintBudget:
     admitted when nothing else is in flight — it runs alone, which is the
     tightest bound any scheduler could give it.  Without that rule a
     machine whose largest table exceeds the budget would deadlock.
+
+    Admission is FIFO, by ticket.  ``release`` wakes every waiter, so
+    without an ordering an oversized request (which needs the budget
+    empty) could lose the race to freshly-arrived small requests forever
+    — each small admission keeps the budget non-empty and the oversized
+    waiter starves.  With tickets, once the oversized request is at the
+    head of the line nothing can be admitted past it, so the budget
+    drains and it runs.
     """
 
     def __init__(self, limit_bytes: int) -> None:
@@ -55,6 +71,9 @@ class FootprintBudget:
         self.limit_bytes = int(limit_bytes)
         self._cond = threading.Condition()
         self._in_flight = 0
+        self._next_ticket = 0
+        self._now_serving = 0
+        self._abandoned: set[int] = set()
         self.peak_in_flight = 0
         self.blocked_acquires = 0
 
@@ -64,18 +83,41 @@ class FootprintBudget:
         # Oversized request: admit only into an empty budget.
         return self._in_flight == 0
 
+    def _served(self, ticket: int, nbytes: int) -> bool:
+        return self._now_serving == ticket and self._admissible(nbytes)
+
+    def _advance(self) -> None:
+        """Skip tickets whose holders gave up waiting (exception in wait)."""
+        while self._now_serving in self._abandoned:
+            self._abandoned.discard(self._now_serving)
+            self._now_serving += 1
+
     def acquire(self, nbytes: int) -> None:
-        """Block until ``nbytes`` of in-flight copy space is available."""
+        """Block until ``nbytes`` of in-flight copy space is available
+        and every earlier acquire has been admitted."""
         if nbytes < 0:
             raise ValueError(f"cannot acquire a negative size ({nbytes})")
         with self._cond:
-            if not self._admissible(nbytes):
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            if not self._served(ticket, nbytes):
                 self.blocked_acquires += 1
-                while not self._admissible(nbytes):
-                    self._cond.wait()
+                try:
+                    while not self._served(ticket, nbytes):
+                        self._cond.wait()
+                except BaseException:
+                    self._abandoned.add(ticket)
+                    self._advance()
+                    self._cond.notify_all()
+                    raise
+            self._now_serving = ticket + 1
+            self._advance()
             self._in_flight += nbytes
             if self._in_flight > self.peak_in_flight:
                 self.peak_in_flight = self._in_flight
+            # The next ticket may be admissible right away (small request
+            # behind a small admission); wake the line to check.
+            self._cond.notify_all()
 
     def release(self, nbytes: int) -> None:
         """Return ``nbytes`` to the budget, waking blocked acquirers."""
@@ -116,6 +158,8 @@ class RestartOutcome:
     report: "RestartReport | None" = None
     error: BaseException | None = None
     duration_seconds: float = 0.0
+    #: Pid of the worker process that ran this leaf (process backend only).
+    worker_pid: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -127,15 +171,26 @@ class ParallelRestartReport:
     """What one machine-wide parallel restart did."""
 
     workers: int
+    backend: str = "thread"
     shutdown: list[RestartOutcome] = field(default_factory=list)
     restore: list[RestartOutcome] = field(default_factory=list)
     shutdown_seconds: float = 0.0
     restore_seconds: float = 0.0
+    #: Process backend only: the sequential re-adoption of restored
+    #: segments into the coordinating process, a simulation shim that a
+    #: real restart (where the *new* process simply is the restored one)
+    #: does not pay.  Kept out of ``restart_window_seconds``.
+    adopt_seconds: float = 0.0
     peak_in_flight_bytes: int = 0
 
     @property
-    def wall_seconds(self) -> float:
+    def restart_window_seconds(self) -> float:
+        """The paper's unavailability window: shutdown + restore."""
         return self.shutdown_seconds + self.restore_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.shutdown_seconds + self.restore_seconds + self.adopt_seconds
 
     @property
     def failures(self) -> list[RestartOutcome]:
@@ -154,28 +209,52 @@ class ParallelRestartCoordinator:
         Pool width; defaults to one worker per leaf (the
         leaves-per-machine fan-out of §2).
     budget:
-        Optional machine-wide in-flight byte cap — a
-        :class:`FootprintBudget` or a plain byte count.  Installed on
-        every leaf's engine for the duration of each phase, so the
-        engines' copy windows queue against one shared limit.
+        Optional machine-wide in-flight byte cap — a budget object or a
+        plain byte count (which builds the right budget class for the
+        backend).  Installed on every leaf's engine for the duration of
+        each phase, so the engines' copy windows queue against one
+        shared limit.
+    backend:
+        ``"thread"`` (default) fans the leaves over a thread pool in
+        this process; ``"process"`` forks a worker-process pool so the
+        bulk copies run as truly concurrent memcpy streams, one GIL per
+        worker.  The process backend requires a
+        :class:`~repro.core.sharedbudget.SharedFootprintBudget` (or an
+        int) for ``budget``: a thread-local budget is invisible across
+        the fork.
     """
 
     def __init__(
         self,
         leaves: "Sequence[LeafServer]",
         max_workers: int | None = None,
-        budget: FootprintBudget | int | None = None,
+        budget: "FootprintBudget | SharedFootprintBudget | int | None" = None,
+        backend: str = "thread",
     ) -> None:
         if not leaves:
             raise ValueError("a coordinator needs at least one leaf")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown restart backend {backend!r}")
         self.leaves = list(leaves)
+        self.backend = backend
         if max_workers is None:
             max_workers = len(self.leaves)
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = min(max_workers, len(self.leaves))
         if isinstance(budget, int):
-            budget = FootprintBudget(budget)
+            if backend == "process":
+                from repro.core.sharedbudget import SharedFootprintBudget
+
+                budget = SharedFootprintBudget(budget)
+            else:
+                budget = FootprintBudget(budget)
+        elif backend == "process" and isinstance(budget, FootprintBudget):
+            raise ValueError(
+                "the process backend needs a SharedFootprintBudget; a "
+                "FootprintBudget's condition variable is invisible to "
+                "forked workers"
+            )
         self.budget = budget
 
     # ------------------------------------------------------------------
@@ -233,6 +312,23 @@ class ParallelRestartCoordinator:
         operational contract is per leaf ("we kill the leaf server if it
         has not shut down after 3 minutes"), not per machine.
         """
+        if self.backend == "process":
+            from repro.core import procpool
+
+            outcomes = procpool.run_process_phase(
+                self.leaves,
+                "shutdown",
+                max_workers=self.max_workers,
+                budget=self.budget,
+                use_shm=use_shm,
+                deadline_seconds=deadline_seconds,
+            )
+            # The worker processes are gone; their heaps went with them.
+            # Fold what each worker did back into the coordinator's leaf
+            # objects (status DOWN, heap dropped, manifest reloaded).
+            for leaf, outcome in zip(self.leaves, outcomes):
+                leaf.absorb_process_shutdown(outcome.report)
+            return outcomes
 
         def one(leaf: "LeafServer") -> "RestartReport | None":
             deadline = (
@@ -244,10 +340,80 @@ class ParallelRestartCoordinator:
 
         return self._run_phase(one)
 
+    def restore_all(
+        self, memory_recovery_enabled: bool = True
+    ) -> list[RestartOutcome]:
+        """Process backend only: every worker attaches its leaves' named
+        segments and restores them (decode + verify) in its own address
+        space, leaving the segments valid for the new serving process to
+        adopt.  This is the parallel half of the restore; :meth:`adopt_all`
+        is the sequential handoff shim."""
+        if self.backend != "process":
+            raise ValueError("restore_all is a process-backend phase")
+        from repro.core import procpool
+
+        return procpool.run_process_phase(
+            self.leaves,
+            "restore",
+            max_workers=self.max_workers,
+            budget=self.budget,
+            memory_recovery_enabled=memory_recovery_enabled,
+        )
+
+    def adopt_all(
+        self, memory_recovery_enabled: bool = True
+    ) -> list[RestartOutcome]:
+        """Bring every leaf up in the coordinating process, sequentially.
+
+        In a real deployment the restored worker *is* the new leaf
+        process and this step does not exist; here the benchmark harness
+        and the data plane live in the coordinator, so each leaf's
+        (still-valid) segments are consumed by a plain ``start()``.  A
+        leaf whose worker died mid-restore has its valid bit down and
+        walks the disk ladder here — the crash never wedges adoption.
+        """
+
+        def one(leaf: "LeafServer") -> RestartOutcome:
+            started = time.perf_counter()
+            try:
+                report = leaf.start(
+                    memory_recovery_enabled=memory_recovery_enabled
+                )
+                return RestartOutcome(
+                    leaf.leaf_id,
+                    report=report,
+                    duration_seconds=time.perf_counter() - started,
+                )
+            except Exception as exc:
+                return RestartOutcome(
+                    leaf.leaf_id,
+                    error=exc,
+                    duration_seconds=time.perf_counter() - started,
+                )
+
+        return [one(leaf) for leaf in self.leaves]
+
     def start_all(
         self, memory_recovery_enabled: bool = True
     ) -> list[RestartOutcome]:
-        """Boot every leaf in parallel (shared memory first, disk fallback)."""
+        """Boot every leaf (shared memory first, disk fallback).
+
+        Thread backend: the leaves restore concurrently in this process.
+        Process backend: the worker pool restores (in parallel) and the
+        coordinator then adopts each leaf; the returned outcomes are the
+        workers' — an adoption failure replaces the outcome's error.
+        """
+        if self.backend == "process":
+            outcomes = self.restore_all(
+                memory_recovery_enabled=memory_recovery_enabled
+            )
+            adopted = self.adopt_all(
+                memory_recovery_enabled=memory_recovery_enabled
+            )
+            for outcome, adoption in zip(outcomes, adopted):
+                if outcome.ok and not adoption.ok:
+                    outcome.error = adoption.error
+            return outcomes
         return self._run_phase(
             lambda leaf: leaf.start(memory_recovery_enabled=memory_recovery_enabled)
         )
@@ -257,24 +423,46 @@ class ParallelRestartCoordinator:
         use_shm: bool = True,
         memory_recovery_enabled: bool = True,
         deadline_seconds: float | None = None,
+        adopt: bool = True,
     ) -> ParallelRestartReport:
         """The full cycle: parallel shutdown, then parallel restore.
 
         The two phases are separated by a barrier, mirroring a real
         machine event: every old process must be gone before the new
-        binary's processes come up and attach.
+        binary's processes come up and attach.  For the process backend
+        the restore phase's workers leave the segments adopted valid;
+        ``adopt`` then folds them into the coordinator (timed separately
+        as ``adopt_seconds`` — a harness artifact, not part of the
+        restart window).
         """
-        report = ParallelRestartReport(workers=self.max_workers)
+        report = ParallelRestartReport(
+            workers=self.max_workers, backend=self.backend
+        )
         started = time.perf_counter()
         report.shutdown = self.shutdown_all(
             use_shm=use_shm, deadline_seconds=deadline_seconds
         )
         report.shutdown_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        report.restore = self.start_all(
-            memory_recovery_enabled=memory_recovery_enabled
-        )
-        report.restore_seconds = time.perf_counter() - started
+        if self.backend == "process":
+            report.restore = self.restore_all(
+                memory_recovery_enabled=memory_recovery_enabled
+            )
+            report.restore_seconds = time.perf_counter() - started
+            if adopt:
+                started = time.perf_counter()
+                adopted = self.adopt_all(
+                    memory_recovery_enabled=memory_recovery_enabled
+                )
+                report.adopt_seconds = time.perf_counter() - started
+                for outcome, adoption in zip(report.restore, adopted):
+                    if outcome.ok and not adoption.ok:
+                        outcome.error = adoption.error
+        else:
+            report.restore = self.start_all(
+                memory_recovery_enabled=memory_recovery_enabled
+            )
+            report.restore_seconds = time.perf_counter() - started
         if self.budget is not None:
             report.peak_in_flight_bytes = self.budget.peak_in_flight
         return report

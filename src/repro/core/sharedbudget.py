@@ -1,0 +1,249 @@
+"""A machine-wide footprint budget that spans process boundaries.
+
+The thread backend's :class:`~repro.core.parallel.FootprintBudget` keeps
+the Section 4.4 invariant with a ``threading.Condition`` — invisible to a
+forked worker.  :class:`SharedFootprintBudget` carries the same contract
+(``acquire``/``release``/``reserve``, the oversized-request progress
+rule, ``peak_in_flight``/``blocked_acquires`` accounting) on
+``multiprocessing`` primitives, so every copy stream on the machine —
+whichever process runs it — queues against one shared byte limit.
+
+Two things the cross-process setting adds:
+
+- **FIFO ticketing.** Admission is strictly in acquire order, so an
+  oversized request (needing the whole budget to itself) cannot be
+  starved by a stream of small requests slipping in ahead of it every
+  time bytes free up.  The thread budget uses the same discipline.
+- **Crash reclamation.** Every reservation and every waiting ticket is
+  attributed to the acquiring process id in a small shared slot table.
+  When the coordinator reaps a dead worker it calls
+  :meth:`reclaim_process`, which returns the corpse's in-flight bytes to
+  the budget and cancels its queued tickets so the line keeps moving.
+
+Blocked acquirers *poll* (a short sleep between admission checks) rather
+than sleeping on a ``multiprocessing.Condition``.  That is deliberate:
+an mp condition's ``notify_all`` counts its sleepers and then blocks
+until each one reports waking, so a worker SIGKILLed inside ``wait()``
+would wedge the next notifier — the exact crash this class must survive.
+With polling, a dead waiter holds nothing while it sleeps; the only
+remaining wedge window is death inside the lock's microsecond-scale
+critical section, the same window any mutex-holding process has.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ReproError
+
+# Header word indexes within the shared array.
+_IN_FLIGHT = 0
+_PEAK = 1
+_BLOCKED = 2
+_NEXT_TICKET = 3
+_NOW_SERVING = 4
+_HEADER_WORDS = 5
+
+#: Maximum concurrent acquirers + holders across all processes.  Eight
+#: leaves times a handful of workers leaves generous headroom.
+MAX_SLOTS = 128
+_SLOT_WORDS = 3  # pid, ticket (-1 == holding), nbytes
+
+#: Slot ticket value meaning "admitted, bytes in flight".
+_HOLDING = -1
+
+#: Sleep between admission checks while blocked.  Copy windows are
+#: milliseconds at the smallest, so a sub-millisecond poll costs a
+#: negligible fraction of any admission it delays.
+_POLL_SECONDS = 0.0005
+
+
+class SharedFootprintBudget:
+    """A byte budget shared by every copy in flight on one machine,
+    usable from forked worker processes as well as threads.
+
+    The public surface mirrors :class:`~repro.core.parallel.FootprintBudget`
+    exactly; the additions are :meth:`reclaim_process` and the ``ctx``
+    constructor argument (a ``multiprocessing`` context — workers must
+    inherit the budget through ``fork``, not re-pickle it).
+    """
+
+    def __init__(self, limit_bytes: int, ctx=None) -> None:
+        if limit_bytes <= 0:
+            raise ValueError(f"budget must be positive, got {limit_bytes}")
+        self.limit_bytes = int(limit_bytes)
+        ctx = ctx or multiprocessing.get_context()
+        self._lock = ctx.Lock()
+        self._state = ctx.Array(
+            "q", [0] * (_HEADER_WORDS + MAX_SLOTS * _SLOT_WORDS), lock=False
+        )
+
+    # ------------------------------------------------------------------
+    # Slot table helpers (call with the lock held)
+    # ------------------------------------------------------------------
+
+    def _slot(self, index: int) -> tuple[int, int, int]:
+        base = _HEADER_WORDS + index * _SLOT_WORDS
+        return (
+            self._state[base],
+            self._state[base + 1],
+            self._state[base + 2],
+        )
+
+    def _set_slot(self, index: int, pid: int, ticket: int, nbytes: int) -> None:
+        base = _HEADER_WORDS + index * _SLOT_WORDS
+        self._state[base] = pid
+        self._state[base + 1] = ticket
+        self._state[base + 2] = nbytes
+
+    def _claim_slot(self, ticket: int, nbytes: int) -> int:
+        for index in range(MAX_SLOTS):
+            if self._slot(index)[0] == 0:
+                self._set_slot(index, os.getpid(), ticket, nbytes)
+                return index
+        raise ReproError(
+            f"more than {MAX_SLOTS} concurrent budget reservations; "
+            "is a worker leaking acquires?"
+        )
+
+    def _ticket_waiting(self, ticket: int) -> bool:
+        for index in range(MAX_SLOTS):
+            pid, slot_ticket, _ = self._slot(index)
+            if pid != 0 and slot_ticket == ticket:
+                return True
+        return False
+
+    def _advance(self) -> None:
+        """Move ``now_serving`` past tickets nobody is waiting on anymore
+        (admitted, abandoned on error, or reclaimed from a dead worker)."""
+        while (
+            self._state[_NOW_SERVING] < self._state[_NEXT_TICKET]
+            and not self._ticket_waiting(self._state[_NOW_SERVING])
+        ):
+            self._state[_NOW_SERVING] += 1
+
+    # ------------------------------------------------------------------
+    # The budget protocol
+    # ------------------------------------------------------------------
+
+    def _admissible(self, nbytes: int) -> bool:
+        if self._state[_IN_FLIGHT] + nbytes <= self.limit_bytes:
+            return True
+        # Oversized request: admit only into an empty budget.
+        return self._state[_IN_FLIGHT] == 0
+
+    def _served(self, ticket: int, nbytes: int) -> bool:
+        return self._state[_NOW_SERVING] == ticket and self._admissible(nbytes)
+
+    def _admit(self, slot: int, ticket: int, nbytes: int) -> None:
+        self._set_slot(slot, os.getpid(), _HOLDING, nbytes)
+        self._state[_NOW_SERVING] = ticket + 1
+        self._advance()
+        self._state[_IN_FLIGHT] += nbytes
+        if self._state[_IN_FLIGHT] > self._state[_PEAK]:
+            self._state[_PEAK] = self._state[_IN_FLIGHT]
+
+    def acquire(self, nbytes: int) -> None:
+        """Block until ``nbytes`` of in-flight copy space is available
+        *and* every earlier acquire has been admitted (FIFO)."""
+        if nbytes < 0:
+            raise ValueError(f"cannot acquire a negative size ({nbytes})")
+        with self._lock:
+            ticket = self._state[_NEXT_TICKET]
+            self._state[_NEXT_TICKET] += 1
+            try:
+                slot = self._claim_slot(ticket, nbytes)
+            except BaseException:
+                self._advance()  # nobody will ever wait on this ticket
+                raise
+            if self._served(ticket, nbytes):
+                self._admit(slot, ticket, nbytes)
+                return
+            self._state[_BLOCKED] += 1
+        try:
+            while True:
+                time.sleep(_POLL_SECONDS)
+                with self._lock:
+                    if self._served(ticket, nbytes):
+                        self._admit(slot, ticket, nbytes)
+                        return
+        except BaseException:
+            # Abandon the ticket so the queue keeps moving.
+            with self._lock:
+                self._set_slot(slot, 0, 0, 0)
+                self._advance()
+            raise
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget, letting blocked acquirers in."""
+        with self._lock:
+            if nbytes < 0 or nbytes > self._state[_IN_FLIGHT]:
+                raise ValueError(
+                    f"releasing {nbytes} bytes with "
+                    f"{self._state[_IN_FLIGHT]} in flight"
+                )
+            pid = os.getpid()
+            for index in range(MAX_SLOTS):
+                slot_pid, ticket, slot_bytes = self._slot(index)
+                if slot_pid == pid and ticket == _HOLDING and slot_bytes == nbytes:
+                    self._set_slot(index, 0, 0, 0)
+                    break
+            self._state[_IN_FLIGHT] -= nbytes
+
+    def reclaim_process(self, pid: int) -> int:
+        """Release everything a dead process still holds or waits for.
+
+        Returns the in-flight bytes returned to the budget.  Idempotent:
+        reclaiming a pid with no slots is a no-op.
+        """
+        with self._lock:
+            reclaimed = 0
+            for index in range(MAX_SLOTS):
+                slot_pid, ticket, slot_bytes = self._slot(index)
+                if slot_pid != pid:
+                    continue
+                if ticket == _HOLDING:
+                    reclaimed += slot_bytes
+                self._set_slot(index, 0, 0, 0)
+            self._state[_IN_FLIGHT] -= reclaimed
+            self._advance()
+            return reclaimed
+
+    @contextmanager
+    def reserve(self, nbytes: int) -> Iterator[None]:
+        self.acquire(nbytes)
+        try:
+            yield
+        finally:
+            self.release(nbytes)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._state[_IN_FLIGHT]
+
+    @property
+    def peak_in_flight(self) -> int:
+        with self._lock:
+            return self._state[_PEAK]
+
+    @property
+    def blocked_acquires(self) -> int:
+        with self._lock:
+            return self._state[_BLOCKED]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"SharedFootprintBudget(limit={self.limit_bytes}, "
+                f"in_flight={self._state[_IN_FLIGHT]}, "
+                f"peak={self._state[_PEAK]})"
+            )

@@ -94,6 +94,16 @@ class DiskBackup:
             os.fsync(fh.fileno())
         os.replace(tmp, self._manifest_path())
 
+    def reload(self) -> None:
+        """Reread the manifest from disk, dropping in-memory state.
+
+        Needed when another process advanced this leaf's backup — e.g. a
+        forked restart worker whose shutdown synced tables and bumped
+        generations that this process's cached manifest predates.
+        """
+        self._manifest = {}
+        self._load_manifest()
+
     def _entry(self, table_name: str) -> dict[str, int]:
         return self._manifest.setdefault(
             table_name,

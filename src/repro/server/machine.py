@@ -16,7 +16,6 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.parallel import (
-    FootprintBudget,
     ParallelRestartCoordinator,
     ParallelRestartReport,
 )
@@ -85,6 +84,8 @@ class Machine:
         use_shm: bool = True,
         memory_recovery_enabled: bool = True,
         deadline_seconds: float | None = None,
+        backend: str = "thread",
+        adopt: bool = True,
     ) -> ParallelRestartReport:
         """Restart every leaf through shared memory, ``workers`` at a time.
 
@@ -92,18 +93,25 @@ class Machine:
         shut down to shared memory concurrently, then all come back
         concurrently.  ``budget_bytes`` caps the combined in-flight copy
         windows so the machine-wide footprint stays at data + budget +
-        metadata; ``workers`` defaults to one thread per leaf.
+        metadata; ``workers`` defaults to one per leaf.  ``backend``
+        picks the pool: ``"thread"`` (in-process, GIL-serialized copies)
+        or ``"process"`` (forked workers, one copy stream per core, with
+        the budget shared across processes).  ``adopt`` controls whether
+        a process-backend restart folds the restored segments back into
+        this object's leaves (benchmarks that only time the restart
+        window may skip it).
         """
-        budget = (
-            FootprintBudget(budget_bytes) if budget_bytes is not None else None
-        )
         coordinator = ParallelRestartCoordinator(
-            self.leaves, max_workers=workers, budget=budget
+            self.leaves,
+            max_workers=workers,
+            budget=budget_bytes,
+            backend=backend,
         )
         return coordinator.restart_all(
             use_shm=use_shm,
             memory_recovery_enabled=memory_recovery_enabled,
             deadline_seconds=deadline_seconds,
+            adopt=adopt,
         )
 
     @property

@@ -27,7 +27,15 @@ class LeafProcessError(ReproError):
 
 @dataclass
 class LeafProcessConfig:
-    """Everything needed to (re)spawn one leaf worker."""
+    """Everything needed to (re)spawn one leaf worker.
+
+    With ``supervised=True`` the spawn goes through
+    :mod:`repro.server.supervisor`: the worker runs as the supervisor's
+    child (inheriting its stdio, so this controller's pipes survive
+    respawns) and a restart request — exit code 75 or a
+    ``restart.requested`` file in the backup dir — replaces it with a
+    genuinely new process, optionally under a new version.
+    """
 
     leaf_id: str
     backup_dir: str | Path
@@ -35,12 +43,10 @@ class LeafProcessConfig:
     version: str = "v1"
     rows_per_block: int | None = None
     capacity_bytes: int = 64 << 20
+    supervised: bool = False
 
-    def argv(self) -> list[str]:
-        argv = [
-            sys.executable,
-            "-m",
-            "repro.server.process_worker",
+    def worker_args(self) -> list[str]:
+        args = [
             "--leaf-id",
             str(self.leaf_id),
             "--backup-dir",
@@ -53,8 +59,26 @@ class LeafProcessConfig:
             str(self.capacity_bytes),
         ]
         if self.rows_per_block is not None:
-            argv += ["--rows-per-block", str(self.rows_per_block)]
-        return argv
+            args += ["--rows-per-block", str(self.rows_per_block)]
+        return args
+
+    def argv(self) -> list[str]:
+        if self.supervised:
+            return [
+                sys.executable,
+                "-m",
+                "repro.server.supervisor",
+                "--restart-dir",
+                str(self.backup_dir),
+                "--",
+                *self.worker_args(),
+            ]
+        return [
+            sys.executable,
+            "-m",
+            "repro.server.process_worker",
+            *self.worker_args(),
+        ]
 
 
 class LeafProcess:
@@ -115,6 +139,38 @@ class LeafProcess:
         self._proc = None
         return clean
 
+    def restart(
+        self,
+        mode: str = "execv",
+        version: str | None = None,
+        use_shm: bool = True,
+        memory_recovery_enabled: bool = True,
+    ) -> dict:
+        """The in-place upgrade handoff: shm shutdown, process swap,
+        recover on the same pipes.
+
+        ``mode="execv"`` re-execs the worker in place (same pid, new
+        image); ``mode="exit"`` has it exit 75 for the supervisor to
+        respawn (new pid) — which requires ``supervised=True``.  Either
+        way this controller's stdin/stdout survive, so the method simply
+        sends ``restart``, then ``start``s the successor and returns its
+        report.  ``version`` relabels the successor — the upgrade.
+        """
+        if mode == "exit" and not self.config.supervised:
+            raise LeafProcessError(
+                "restart mode 'exit' needs a supervisor to respawn the "
+                "worker (spawn with supervised=True)"
+            )
+        payload: dict = {"op": "restart", "mode": mode, "use_shm": use_shm}
+        if version is not None:
+            payload["version"] = version
+            self.config.version = version  # future respawns keep it
+        handoff = self.request(payload)
+        start = self.request(
+            {"op": "start", "memory_recovery_enabled": memory_recovery_enabled}
+        )
+        return {"handoff": handoff, "start": start}
+
     def kill(self) -> None:
         """Simulate a hard crash: SIGKILL, no shutdown protocol."""
         if self._proc is not None:
@@ -164,6 +220,10 @@ class LeafProcess:
 
     def status(self) -> dict:
         return self.request({"op": "status"})
+
+    def digest(self) -> str:
+        """Content digest of all rows (restart-equivalence witness)."""
+        return self.request({"op": "digest"})["digest"]
 
     def add_rows(self, table: str, rows: list[dict]) -> int:
         return self.request({"op": "add_rows", "table": table, "rows": rows})["added"]

@@ -1,0 +1,111 @@
+"""File-based restart signaling and in-place re-exec for leaf workers.
+
+The paper's rollover (§4.3) replaces a leaf process with a new binary
+while the data waits in shared memory.  Two mechanisms make that a real
+old-process → new-process handoff here rather than a same-heap
+simulation:
+
+- **Re-exec**: after shutting down into shared memory, a worker calls
+  ``os.execv`` on itself.  The pid survives but the process image — heap
+  and all — is replaced; the new image's only way back to the data is
+  the shm protocol.  Open file descriptors survive exec, so the
+  controller's stdin/stdout pipes keep working across the swap.
+- **Restart request file + exit code**: a worker (or a deploy script)
+  drops ``restart.requested`` in the leaf's backup directory, or the
+  worker exits with :data:`RESTART_EXIT_CODE`; the supervisor loop
+  (:mod:`repro.server.supervisor`) treats either as "respawn me",
+  optionally with a new ``--version`` read from the request file — the
+  upgrade path, where the new process genuinely has a new pid.
+
+The request file lives in the backup directory because that is the one
+per-leaf location that is durable, private to the leaf, and already
+known to every process involved.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+#: Dropped into the leaf's backup directory to request a respawn.
+RESTART_FILE = "restart.requested"
+
+#: Exit status meaning "respawn me" to the supervisor.  75 is EX_TEMPFAIL
+#: ("temporary failure, retry"), the closest sysexits.h has to a planned
+#: restart; it cannot collide with 0 (clean exit) or 70 (crash op).
+RESTART_EXIT_CODE = 75
+
+
+def request_restart(
+    directory: str | Path, version: str | None = None, at: float | None = None
+) -> Path:
+    """Write the restart request file, overwriting any previous request.
+
+    ``version`` asks the supervisor to respawn the worker with a new
+    ``--version`` — the upgrade handoff.  Returns the file path.
+    """
+    path = Path(directory) / RESTART_FILE
+    if at is None:
+        at = time.time()
+    lines = [f"restart requested at {at:.0f}"]
+    if version is not None:
+        lines.append(f"version {version}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def check_restart(directory: str | Path) -> bool:
+    """Whether a restart has been requested for this leaf."""
+    return (Path(directory) / RESTART_FILE).exists()
+
+
+def read_restart_version(directory: str | Path) -> str | None:
+    """The target version named in the request file, if any."""
+    path = Path(directory) / RESTART_FILE
+    if not path.exists():
+        return None
+    for line in path.read_text().splitlines():
+        if line.startswith("version "):
+            return line[len("version "):].strip() or None
+    return None
+
+
+def clear_restart(directory: str | Path) -> None:
+    """Remove the request file; a no-op when none exists."""
+    try:
+        (Path(directory) / RESTART_FILE).unlink()
+    except FileNotFoundError:
+        pass
+
+
+def rewrite_version(args: list[str], version: str) -> list[str]:
+    """A copy of worker argv with its ``--version`` value replaced (or
+    appended when absent) — how an upgrade changes the binary's identity
+    without changing anything else about the spawn."""
+    out = list(args)
+    for index, arg in enumerate(out):
+        if arg == "--version" and index + 1 < len(out):
+            out[index + 1] = version
+            return out
+        if arg.startswith("--version="):
+            out[index] = f"--version={version}"
+            return out
+    return out + ["--version", version]
+
+
+def reexec_worker(worker_args: list[str]) -> None:
+    """Replace this process with a fresh worker image (never returns).
+
+    Reconstructs the canonical ``python -m repro.server.process_worker``
+    invocation rather than trusting ``sys.argv`` — the calling module's
+    ``argv[0]`` differs between ``-m`` runs and script runs, and the
+    module path form works for both.
+    """
+    sys.stdout.flush()
+    sys.stderr.flush()
+    os.execv(
+        sys.executable,
+        [sys.executable, "-m", "repro.server.process_worker", *worker_args],
+    )

@@ -1,0 +1,103 @@
+"""A tiny supervisor loop for one leaf worker process.
+
+``python -m repro.server.supervisor --restart-dir DIR -- <worker args>``
+spawns ``repro.server.process_worker`` with the supervisor's own
+stdin/stdout/stderr, waits for it to exit, and respawns it when the exit
+asked for a restart — either :data:`~repro.server.restart_manager.
+RESTART_EXIT_CODE` or a ``restart.requested`` file in ``--restart-dir``.
+Any other exit status is final and becomes the supervisor's own.
+
+Because the worker inherits the supervisor's stdio, a controller that
+piped to the supervisor keeps its JSON-line connection across respawns:
+the old worker dies, the new worker (a genuinely new pid, possibly a new
+``--version`` when the request file names one) reads the next request
+from the very same pipe.  Combined with shutdown-to-shared-memory this
+is the paper's rollover on one machine: old process out, new process in,
+data waiting in /dev/shm.
+
+This loop is deliberately dumb — no backoff, no health checks — because
+its only job in the reproduction is the handoff.  ``--max-restarts``
+(default 16) keeps a crash-looping worker from spinning forever.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+from repro.server.restart_manager import (
+    RESTART_EXIT_CODE,
+    check_restart,
+    clear_restart,
+    read_restart_version,
+    rewrite_version,
+)
+
+
+def supervise(
+    worker_args: list[str],
+    restart_dir: str,
+    max_restarts: int = 16,
+    announce=None,
+) -> int:
+    """Run the worker until it exits without requesting a restart.
+
+    Returns the final exit code.  ``announce`` (stderr by default) gets
+    one line per respawn so test logs show the generation history.
+    """
+    args = list(worker_args)
+    restarts = 0
+    while True:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server.process_worker", *args]
+        )
+        code = proc.wait()
+        requested = code == RESTART_EXIT_CODE or check_restart(restart_dir)
+        if not requested or restarts >= max_restarts:
+            return code
+        version = read_restart_version(restart_dir)
+        clear_restart(restart_dir)
+        if version is not None:
+            args = rewrite_version(args, version)
+        restarts += 1
+        if announce is not None:
+            announce(
+                f"supervisor: respawn #{restarts} (exit {code}, "
+                f"version {version or 'unchanged'})"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="supervise one repro leaf worker",
+    )
+    parser.add_argument(
+        "--restart-dir",
+        required=True,
+        help="directory watched for restart.requested (the leaf's backup dir)",
+    )
+    parser.add_argument("--max-restarts", type=int, default=16)
+    parser.add_argument(
+        "worker_args",
+        nargs=argparse.REMAINDER,
+        help="arguments for repro.server.process_worker (prefix with --)",
+    )
+    args = parser.parse_args(argv)
+    worker_args = args.worker_args
+    if worker_args and worker_args[0] == "--":
+        worker_args = worker_args[1:]
+
+    def announce(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    return supervise(
+        worker_args,
+        restart_dir=args.restart_dir,
+        max_restarts=args.max_restarts,
+        announce=announce,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,13 @@ class HardwareProfile:
     # scale linearly only until they hit the ceiling (experiment E15).
     mem_copy_gbps: float = 4.0
     mem_total_gbps: float = 16.0
+    #: Effective concurrent copy streams an *in-process thread pool*
+    #: achieves.  A CPython restart backend running bulk copies in
+    #: threads holds the GIL for each memcpy slice, so no matter how
+    #: many workers are configured the machine sees roughly one stream
+    #: (the paper's C++ implementation has no such ceiling; the
+    #: process-pool backend escapes it with one interpreter per worker).
+    gil_copy_streams: float = 1.0
 
     # Fixed overheads.
     process_restart_overhead_s: float = 12.0
@@ -119,7 +126,7 @@ class HardwareProfile:
         )
         return nbytes / (per_stream_gbps * GB)
 
-    def mem_copy_seconds(self, nbytes: float, concurrent: int = 1) -> float:
+    def mem_copy_seconds(self, nbytes: float, concurrent: float = 1) -> float:
         """One direction of a heap<->shm copy with ``m`` leaves copying.
 
         Each stream runs at its single-stream rate until the machine's
@@ -134,15 +141,38 @@ class HardwareProfile:
         per_stream_gbps = min(self.mem_copy_gbps, self.mem_total_gbps / concurrent)
         return nbytes / (per_stream_gbps * GB)
 
-    def parallel_restore_speedup(self, workers: int) -> float:
+    def effective_copy_streams(self, workers: int, backend: str = "process") -> float:
+        """Truly-concurrent copy streams ``workers`` workers achieve.
+
+        ``"process"`` workers each own an interpreter, so every worker
+        is a stream; ``"thread"`` workers share one GIL, capping the
+        machine at ``gil_copy_streams`` no matter the pool width.
+        """
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if backend == "thread":
+            return min(float(workers), self.gil_copy_streams)
+        if backend == "process":
+            return float(workers)
+        raise ValueError(f"unknown restart backend {backend!r}")
+
+    def parallel_restore_speedup(
+        self, workers: int, backend: str = "process"
+    ) -> float:
         """Machine-level speedup of restoring ``k`` leaves concurrently
         versus one at a time: linear in ``k`` until the memory-bandwidth
-        ceiling, then flat at ``mem_total_gbps / mem_copy_gbps``."""
+        ceiling, then flat at ``mem_total_gbps / mem_copy_gbps``.  For
+        the thread backend the GIL is the first ceiling — with the
+        default ``gil_copy_streams`` the curve is flat at ~1x, which is
+        why ``backend="process"`` exists at all.
+        """
         if workers < 1:
             raise ValueError("need at least one worker")
         nbytes = self.data_bytes_per_leaf
+        streams = self.effective_copy_streams(workers, backend)
         sequential = workers * self.mem_copy_seconds(nbytes, 1)
-        parallel = self.mem_copy_seconds(nbytes, workers)
+        # `streams` concurrent copies at a time, workers/streams waves.
+        parallel = (workers / streams) * self.mem_copy_seconds(nbytes, streams)
         return sequential / parallel
 
     # ------------------------------------------------------------------

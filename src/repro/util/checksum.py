@@ -9,6 +9,8 @@ identically.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zlib
 
 from repro.errors import ChecksumMismatchError
@@ -30,3 +32,17 @@ def verify_crc32(expected: int, *chunks: bytes | bytearray | memoryview) -> None
         raise ChecksumMismatchError(
             f"checksum mismatch: stored 0x{expected:08x}, computed 0x{actual:08x}"
         )
+
+
+def rows_digest(snapshot: dict[str, list[dict]]) -> str:
+    """A stable content digest of a leaf's full row snapshot.
+
+    Used to prove restart equivalence *across process boundaries*: an
+    old worker reports its digest before shutting down into shared
+    memory, the re-exec'd/respawned worker reports its own after
+    restoring, and the controller compares strings instead of shipping
+    every row over the wire.  Canonical JSON (sorted keys, no float
+    ambiguity beyond repr) keeps the digest independent of dict order.
+    """
+    canonical = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

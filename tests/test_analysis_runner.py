@@ -56,7 +56,7 @@ class TestRunLint:
         codes = {f.code for f in result.match.new}
         assert result.failed
         # the baselined families are exactly these
-        assert codes == {"RL201", "RL204", "RL302", "RL502"}
+        assert codes == {"RL201", "RL204", "RL302", "RL502", "RL503"}
 
     def test_checker_filter_scopes_baseline_staleness(self, repo_root):
         """Running one checker must not report the others' baseline
@@ -125,5 +125,5 @@ class TestCli:
         )
         assert rc == 0
         written = Baseline.load(target)
-        assert len(written.entries) == 14
+        assert len(written.entries) == 15
         assert all(e.justification == "TODO: justify or fix" for e in written.entries)

@@ -17,6 +17,7 @@ fan-out:
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -120,6 +121,47 @@ class TestFootprintBudget:
         budget.release(4)
         assert admitted.wait(2.0)
         thread.join()
+        assert budget.peak_in_flight == 50
+
+    def test_oversized_request_cannot_be_starved_by_small_ones(self):
+        """Regression: admission is FIFO by ticket.  Before ticketing, a
+        release woke every waiter and any small request could slip in
+        ahead of an oversized one, keeping the budget non-empty — the
+        oversized waiter starved forever.  Now a small request that
+        arrives behind an oversized one must queue behind it."""
+        budget = FootprintBudget(10)
+        budget.acquire(6)
+        oversized_in = threading.Event()
+        small_in = threading.Event()
+
+        def oversized():
+            budget.acquire(50)
+            oversized_in.set()
+            budget.release(50)
+
+        def small():
+            budget.acquire(4)
+            small_in.set()
+            budget.release(4)
+
+        big = threading.Thread(target=oversized)
+        big.start()
+        deadline = time.monotonic() + 5.0
+        while budget.blocked_acquires < 1 and time.monotonic() < deadline:
+            time.sleep(0.002)
+        little = threading.Thread(target=small)
+        little.start()
+        deadline = time.monotonic() + 5.0
+        while budget.blocked_acquires < 2 and time.monotonic() < deadline:
+            time.sleep(0.002)
+        # 6 + 4 fits the budget, but FIFO forbids jumping the line.
+        assert not small_in.wait(0.05), "small request overtook the oversized one"
+        budget.release(6)
+        assert oversized_in.wait(2.0), "oversized request starved"
+        assert small_in.wait(2.0), "queue stalled behind the oversized admission"
+        big.join()
+        little.join()
+        assert budget.in_flight == 0
         assert budget.peak_in_flight == 50
 
     def test_reserve_context_manager_releases_on_error(self):

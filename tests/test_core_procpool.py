@@ -1,0 +1,239 @@
+"""The process-pool restart backend: forked workers, one GIL per stream.
+
+The invariants of the thread backend must survive the move across
+address spaces: restart equivalence, valid-bit-last, the machine-wide
+footprint bound (now via :class:`SharedFootprintBudget`), and failure
+isolation — including the failure mode threads cannot have, a worker
+process SIGKILLed mid-copy.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core.engine import RecoveryMethod
+from repro.core.parallel import FootprintBudget, ParallelRestartCoordinator
+from repro.core.procpool import partition_leaves, run_process_phase
+from repro.core.sharedbudget import SharedFootprintBudget
+from repro.errors import CorruptionError, ReproError, WorkerCrashedError
+from tests.test_core_parallel import make_machine, max_segment_bytes, sealed_bytes
+
+pytestmark = pytest.mark.slow  # every test forks real worker processes
+
+LEAVES = 4
+
+
+def make_process_machine(shm_namespace, tmp_path, clock, leaves=LEAVES):
+    machine = make_machine(shm_namespace, tmp_path, clock, leaves=leaves)
+    # The crash paths recover from disk; make the backup current first.
+    for leaf in machine.leaves:
+        leaf.sync_to_disk()
+    return machine
+
+
+class TestPartition:
+    def test_round_robin_striping(self):
+        assert partition_leaves(10, 3) == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_never_more_workers_than_leaves(self):
+        assert partition_leaves(3, 8) == [[0], [1], [2]]
+
+    def test_single_worker_takes_everything(self):
+        assert partition_leaves(4, 1) == [[0, 1, 2, 3]]
+
+
+class TestProcessBackendEquivalence:
+    def test_full_cycle_preserves_every_leaf(self, shm_namespace, tmp_path, clock):
+        machine = make_process_machine(shm_namespace, tmp_path, clock)
+        snapshots = [leaf.leafmap.snapshot_rows() for leaf in machine.leaves]
+        report = machine.restart_all(workers=2, backend="process")
+        assert report.backend == "process"
+        assert report.failures == []
+        assert all(
+            o.report.method is RecoveryMethod.SHARED_MEMORY for o in report.restore
+        )
+        assert all(o.worker_pid not in (None, os.getpid()) for o in report.restore)
+        for leaf, snapshot in zip(machine.leaves, snapshots):
+            assert leaf.is_alive
+            assert leaf.leafmap.snapshot_rows() == snapshot
+            assert not leaf.engine.shm_state_exists()
+
+    def test_two_consecutive_cycles(self, shm_namespace, tmp_path, clock):
+        """The coordinator's leaf objects must stay consistent across
+        repeated process-backend cycles (manifest reloads, heap
+        accounting, shm namespace all reconciled)."""
+        machine = make_process_machine(shm_namespace, tmp_path, clock, leaves=2)
+        snapshots = [leaf.leafmap.snapshot_rows() for leaf in machine.leaves]
+        for _ in range(2):
+            report = machine.restart_all(workers=2, backend="process")
+            assert report.failures == []
+            for leaf, snapshot in zip(machine.leaves, snapshots):
+                assert leaf.leafmap.snapshot_rows() == snapshot
+
+    def test_restart_window_excludes_adoption(self, shm_namespace, tmp_path, clock):
+        machine = make_process_machine(shm_namespace, tmp_path, clock, leaves=2)
+        report = machine.restart_all(workers=2, backend="process")
+        assert report.adopt_seconds > 0.0
+        assert report.restart_window_seconds == pytest.approx(
+            report.shutdown_seconds + report.restore_seconds
+        )
+        assert report.wall_seconds == pytest.approx(
+            report.restart_window_seconds + report.adopt_seconds
+        )
+
+
+class TestSharedBudgetAcrossWorkers:
+    def test_workers_queue_against_one_budget(self, shm_namespace, tmp_path, clock):
+        machine = make_process_machine(shm_namespace, tmp_path, clock)
+        data_bytes = sealed_bytes(machine)
+        limit = max(max_segment_bytes(machine), data_bytes // 3)
+        budget = SharedFootprintBudget(limit)
+        coordinator = ParallelRestartCoordinator(
+            machine.leaves, budget=budget, backend="process"
+        )
+        report = coordinator.restart_all()
+        assert report.failures == []
+        # The peak is visible in the parent's shared array — proof the
+        # forked workers really acquired against this budget object.
+        assert 0 < budget.peak_in_flight <= limit
+        assert report.peak_in_flight_bytes == budget.peak_in_flight
+        assert budget.in_flight == 0
+
+    def test_thread_budget_is_rejected(self, shm_namespace, tmp_path, clock):
+        machine = make_process_machine(shm_namespace, tmp_path, clock, leaves=2)
+        with pytest.raises(ValueError, match="SharedFootprintBudget"):
+            ParallelRestartCoordinator(
+                machine.leaves, budget=FootprintBudget(1024), backend="process"
+            )
+
+    def test_int_budget_builds_the_shared_class(
+        self, shm_namespace, tmp_path, clock
+    ):
+        machine = make_process_machine(shm_namespace, tmp_path, clock, leaves=2)
+        coordinator = ParallelRestartCoordinator(
+            machine.leaves, budget=1 << 20, backend="process"
+        )
+        assert isinstance(coordinator.budget, SharedFootprintBudget)
+        report = coordinator.restart_all()
+        assert report.failures == []
+
+
+class TestWorkerFailureIsolation:
+    def test_marshalled_error_does_not_poison_siblings(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """A leaf whose shm backup raises in the worker comes back as a
+        failed outcome with the marshalled error; its siblings shut down
+        normally and everyone recovers (the victim from disk)."""
+        machine = make_process_machine(shm_namespace, tmp_path, clock)
+        snapshots = [leaf.leafmap.snapshot_rows() for leaf in machine.leaves]
+        victim = machine.leaves[1]
+
+        def explode(point: str) -> None:
+            if point == "backup:table":
+                raise CorruptionError("injected worker-side backup failure")
+
+        victim.engine._fault = explode
+        coordinator = ParallelRestartCoordinator(
+            machine.leaves, max_workers=2, backend="process"
+        )
+        outcomes = coordinator.shutdown_all()
+        by_leaf = {o.leaf_id: o for o in outcomes}
+        bad = by_leaf[victim.leaf_id]
+        assert not bad.ok
+        assert isinstance(bad.error, ReproError)
+        assert "CorruptionError" in str(bad.error)
+        for leaf in machine.leaves:
+            if leaf is not victim:
+                assert by_leaf[leaf.leaf_id].ok
+        # The fault hook died with the workers; the parent's copy of the
+        # victim recovers from its synced disk backup.
+        victim.engine._fault = lambda point: None
+        start = coordinator.start_all()
+        assert all(o.ok for o in start)
+        for leaf, snapshot in zip(machine.leaves, snapshots):
+            assert leaf.leafmap.snapshot_rows() == snapshot
+            assert not leaf.engine.shm_state_exists()
+
+    def test_sigkill_mid_restore_falls_down_the_ladder(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """The satellite scenario: a worker is SIGKILLed mid-copy while
+        holding a budget reservation.  Its leaf must surface a failed
+        outcome carrying WorkerCrashedError, the reservation must return
+        to the shared budget, and adoption must walk the leaf down the
+        recovery ladder to disk — with no shm leak (the namespace
+        fixture asserts that at teardown)."""
+        machine = make_process_machine(shm_namespace, tmp_path, clock)
+        snapshots = [leaf.leafmap.snapshot_rows() for leaf in machine.leaves]
+        victim = machine.leaves[2]
+
+        def die(point: str) -> None:
+            # Fires after budget.acquire, before the copy: the worker
+            # dies holding its in-flight reservation.
+            if point == "restore:in_window":
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        victim.engine._fault = die
+        budget = SharedFootprintBudget(sealed_bytes(machine))
+        coordinator = ParallelRestartCoordinator(
+            machine.leaves, budget=budget, backend="process"
+        )
+        outcomes = coordinator.shutdown_all()
+        assert all(o.ok for o in outcomes)
+
+        # The restore workers fork from the parent and inherit the hook
+        # (that is how the SIGKILL reaches the right worker).
+        outcomes = coordinator.restore_all()
+        # Disarm before adoption runs restore in *this* process.
+        victim.engine._fault = lambda point: None
+        by_leaf = {o.leaf_id: o for o in outcomes}
+        bad = by_leaf[victim.leaf_id]
+        assert not bad.ok
+        assert isinstance(bad.error, WorkerCrashedError)
+        assert str(bad.worker_pid) in str(bad.error)
+        for leaf in machine.leaves:
+            if leaf is not victim:
+                assert by_leaf[leaf.leaf_id].ok
+        # The corpse's reservation was reclaimed, not leaked.
+        assert budget.in_flight == 0
+
+        adopted = coordinator.adopt_all()
+        assert all(o.ok for o in adopted)
+        by_leaf = {o.leaf_id: o for o in adopted}
+        # Invalidate-first means the victim's valid bit was down when the
+        # worker died, so adoption goes straight to the disk-snapshot
+        # tier (no shm attempt, hence no fell_back_to_disk flag).
+        assert by_leaf[victim.leaf_id].report.method is RecoveryMethod.DISK_SNAPSHOT
+        assert "disk_snapshot_recovery" in by_leaf[victim.leaf_id].report.leaf_states
+        for leaf in machine.leaves:
+            if leaf is not victim:
+                assert by_leaf[leaf.leaf_id].report.method is (
+                    RecoveryMethod.SHARED_MEMORY
+                )
+        for leaf, snapshot in zip(machine.leaves, snapshots):
+            assert leaf.is_alive
+            assert leaf.leafmap.snapshot_rows() == snapshot
+            assert not leaf.engine.shm_state_exists()
+
+
+class TestRunProcessPhaseContract:
+    def test_unknown_phase_rejected(self, shm_namespace, tmp_path, clock):
+        machine = make_process_machine(shm_namespace, tmp_path, clock, leaves=1)
+        with pytest.raises(ValueError, match="unknown process phase"):
+            run_process_phase(machine.leaves, "reticulate", max_workers=1)
+
+    def test_budget_cleared_from_engines_after_phase(
+        self, shm_namespace, tmp_path, clock
+    ):
+        machine = make_process_machine(shm_namespace, tmp_path, clock, leaves=2)
+        budget = SharedFootprintBudget(1 << 20)
+        coordinator = ParallelRestartCoordinator(
+            machine.leaves, budget=budget, backend="process"
+        )
+        coordinator.restart_all()
+        for leaf in machine.leaves:
+            assert leaf.engine.budget is None

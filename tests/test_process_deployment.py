@@ -110,6 +110,33 @@ class TestLeafProcess:
         with pytest.raises(LeafProcessError):
             leaf.status()
 
+    def test_execv_restart_swaps_the_image_in_place(self, shm_namespace, tmp_path):
+        """The in-place upgrade: ``os.execv`` keeps the pid and the
+        controller's pipes but replaces the process image — proven by
+        the incarnation token changing while the pid does not — and the
+        data crosses the swap through shared memory."""
+        leaf = make_leaf(shm_namespace, tmp_path)
+        leaf.spawn()
+        leaf.add_rows("events", [{"time": i, "v": float(i)} for i in range(350)])
+        before = leaf.status()
+        digest = leaf.digest()
+
+        result = leaf.restart(mode="execv", version="v2")
+        assert result["handoff"]["used_shm"] is True
+        assert result["handoff"]["pid"] == before["pid"]
+        assert result["start"]["method"] == "shared_memory"
+        assert result["start"]["rows"] == 350
+
+        after = leaf.status()
+        assert after["pid"] == before["pid"], "execv must keep the pid"
+        assert after["incarnation"] != before["incarnation"], (
+            "a new process image must mint a new incarnation"
+        )
+        assert after["version"] == "v2"
+        assert leaf.digest() == digest
+        assert leaf.query_partial(COUNT)[()][0].finalize() == 350
+        leaf.shutdown(use_shm=False)
+
 
 class TestWireFormats:
     def test_query_roundtrip(self):

@@ -1,0 +1,73 @@
+"""The restart-request protocol: file signaling and argv rewriting."""
+
+from __future__ import annotations
+
+from repro.server.restart_manager import (
+    RESTART_EXIT_CODE,
+    RESTART_FILE,
+    check_restart,
+    clear_restart,
+    read_restart_version,
+    request_restart,
+    rewrite_version,
+)
+
+
+class TestRequestFile:
+    def test_request_check_clear_roundtrip(self, tmp_path):
+        assert not check_restart(tmp_path)
+        path = request_restart(tmp_path, at=1_390_000_000)
+        assert path == tmp_path / RESTART_FILE
+        assert check_restart(tmp_path)
+        assert "restart requested at 1390000000" in path.read_text()
+        clear_restart(tmp_path)
+        assert not check_restart(tmp_path)
+
+    def test_clear_without_request_is_a_noop(self, tmp_path):
+        clear_restart(tmp_path)  # must not raise
+        assert not check_restart(tmp_path)
+
+    def test_version_survives_the_file(self, tmp_path):
+        request_restart(tmp_path, version="v7", at=1_390_000_000)
+        assert read_restart_version(tmp_path) == "v7"
+
+    def test_no_version_reads_as_none(self, tmp_path):
+        request_restart(tmp_path, at=1_390_000_000)
+        assert read_restart_version(tmp_path) is None
+
+    def test_no_file_reads_as_none(self, tmp_path):
+        assert read_restart_version(tmp_path) is None
+
+    def test_second_request_overwrites_the_first(self, tmp_path):
+        request_restart(tmp_path, version="v2", at=1_390_000_000)
+        request_restart(tmp_path, version="v3", at=1_390_000_060)
+        assert read_restart_version(tmp_path) == "v3"
+
+    def test_default_timestamp_is_now_not_zero(self, tmp_path):
+        path = request_restart(tmp_path)
+        stamp = int(path.read_text().splitlines()[0].rsplit(" ", 1)[1])
+        assert stamp > 1_400_000_000  # any real wall clock, not 0
+
+    def test_exit_code_is_distinct_from_clean_and_crash(self):
+        assert RESTART_EXIT_CODE not in (0, 70)
+
+
+class TestRewriteVersion:
+    def test_replaces_space_form(self):
+        args = ["--leaf-id", "a", "--version", "v1", "--namespace", "n"]
+        assert rewrite_version(args, "v2") == [
+            "--leaf-id", "a", "--version", "v2", "--namespace", "n",
+        ]
+
+    def test_replaces_equals_form(self):
+        assert rewrite_version(["--version=v1"], "v2") == ["--version=v2"]
+
+    def test_appends_when_absent(self):
+        assert rewrite_version(["--leaf-id", "a"], "v2") == [
+            "--leaf-id", "a", "--version", "v2",
+        ]
+
+    def test_does_not_mutate_the_input(self):
+        args = ["--version", "v1"]
+        rewrite_version(args, "v2")
+        assert args == ["--version", "v1"]

@@ -1,0 +1,246 @@
+"""SharedFootprintBudget: the Section 4.4 bound across process boundaries.
+
+The thread backend's :class:`FootprintBudget` contract — blocking
+``acquire``, the oversized-admission rule, peak/blocked accounting —
+must hold when the acquirers are forked worker processes, plus two
+cross-process extras: strict FIFO admission (no starvation of an
+oversized request by small latecomers) and crash reclamation
+(``reclaim_process`` returns a SIGKILLed worker's bytes to the budget
+and cancels its queued tickets).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.procpool import require_fork_context
+from repro.core.sharedbudget import MAX_SLOTS, SharedFootprintBudget
+from repro.errors import ReproError
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestSameProcessContract:
+    """The FootprintBudget surface, verified on the shared implementation."""
+
+    def test_tracks_in_flight_and_peak(self):
+        budget = SharedFootprintBudget(100)
+        budget.acquire(60)
+        budget.acquire(30)
+        assert budget.in_flight == 90
+        budget.release(60)
+        assert budget.in_flight == 30
+        assert budget.peak_in_flight == 90
+
+    def test_blocks_until_release(self):
+        budget = SharedFootprintBudget(100)
+        budget.acquire(80)
+        acquired = threading.Event()
+
+        def worker():
+            budget.acquire(40)
+            acquired.set()
+            budget.release(40)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert not acquired.wait(0.05), "acquire should block while over budget"
+        budget.release(80)
+        assert acquired.wait(2.0), "release should wake the blocked acquirer"
+        thread.join()
+        assert budget.blocked_acquires == 1
+        assert budget.in_flight == 0
+
+    def test_oversized_request_admitted_only_alone(self):
+        budget = SharedFootprintBudget(10)
+        budget.acquire(4)
+        admitted = threading.Event()
+
+        def worker():
+            budget.acquire(50)  # larger than the whole budget
+            admitted.set()
+            budget.release(50)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert not admitted.wait(0.05), "oversized must wait for an empty budget"
+        budget.release(4)
+        assert admitted.wait(2.0)
+        thread.join()
+        assert budget.peak_in_flight == 50
+
+    def test_reserve_context_manager_releases_on_error(self):
+        budget = SharedFootprintBudget(10)
+        with pytest.raises(RuntimeError):
+            with budget.reserve(7):
+                assert budget.in_flight == 7
+                raise RuntimeError("boom")
+        assert budget.in_flight == 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SharedFootprintBudget(0)
+        budget = SharedFootprintBudget(10)
+        with pytest.raises(ValueError):
+            budget.acquire(-1)
+        with pytest.raises(ValueError):
+            budget.release(1)  # nothing in flight
+
+    def test_slot_table_exhaustion_is_a_clear_error(self):
+        budget = SharedFootprintBudget(MAX_SLOTS + 1)
+        for _ in range(MAX_SLOTS):
+            budget.acquire(1)
+        with pytest.raises(ReproError, match="concurrent budget reservations"):
+            budget.acquire(1)
+        for _ in range(MAX_SLOTS):
+            budget.release(1)
+        assert budget.in_flight == 0
+
+
+class TestFifoAdmission:
+    def test_small_request_queues_behind_oversized(self):
+        """The starvation scenario: while an oversized request waits for
+        the budget to drain, a small request that *would* fit must queue
+        behind it, not slip in and keep the budget non-empty forever."""
+        budget = SharedFootprintBudget(10)
+        budget.acquire(6)
+
+        oversized_in = threading.Event()
+        small_in = threading.Event()
+
+        def oversized():
+            budget.acquire(50)
+            oversized_in.set()
+            assert wait_until(lambda: budget.blocked_acquires >= 2)
+            budget.release(50)
+
+        def small():
+            budget.acquire(4)
+            small_in.set()
+            budget.release(4)
+
+        big = threading.Thread(target=oversized)
+        big.start()
+        assert wait_until(lambda: budget.blocked_acquires == 1)
+        little = threading.Thread(target=small)
+        little.start()
+        assert wait_until(lambda: budget.blocked_acquires == 2)
+        # 6 + 4 <= 10, but FIFO: the small request must not jump the line.
+        assert not small_in.wait(0.05), "small request overtook the oversized one"
+        budget.release(6)
+        assert oversized_in.wait(2.0), "oversized request starved"
+        assert small_in.wait(2.0), "queue stalled behind the oversized admission"
+        big.join()
+        little.join()
+        assert budget.in_flight == 0
+
+
+class TestCrossProcess:
+    """Forked children and the parent share one byte limit."""
+
+    def test_child_reservation_visible_to_parent(self):
+        ctx = require_fork_context()
+        budget = SharedFootprintBudget(100, ctx=ctx)
+        holding = ctx.Event()
+        proceed = ctx.Event()
+
+        def child():
+            budget.acquire(60)
+            holding.set()
+            proceed.wait(10)
+            budget.release(60)
+
+        proc = ctx.Process(target=child)
+        proc.start()
+        assert holding.wait(5), "child never acquired"
+        assert budget.in_flight == 60
+        proceed.set()
+        proc.join(5)
+        assert proc.exitcode == 0
+        assert budget.in_flight == 0
+        assert budget.peak_in_flight == 60
+
+    def test_many_children_never_exceed_the_limit(self):
+        """Eight children churn acquire/copy/release; the shared peak
+        must stay under the limit (no request here is oversized)."""
+        ctx = require_fork_context()
+        limit = 100
+        budget = SharedFootprintBudget(limit, ctx=ctx)
+
+        def child(nbytes):
+            for _ in range(5):
+                with budget.reserve(nbytes):
+                    time.sleep(0.001)
+
+        procs = [ctx.Process(target=child, args=(30,)) for _ in range(8)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(30)
+            assert proc.exitcode == 0
+        assert budget.in_flight == 0
+        assert 30 <= budget.peak_in_flight <= limit
+
+    def test_reclaim_after_sigkill_returns_held_bytes(self):
+        ctx = require_fork_context()
+        budget = SharedFootprintBudget(100, ctx=ctx)
+        holding = ctx.Event()
+
+        def child():
+            budget.acquire(30)
+            holding.set()
+            time.sleep(600)  # hold forever; the parent will SIGKILL us
+
+        proc = ctx.Process(target=child)
+        proc.start()
+        assert holding.wait(5)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(5)
+        assert budget.in_flight == 30  # the corpse still holds its bytes
+        assert budget.reclaim_process(proc.pid) == 30
+        assert budget.in_flight == 0
+        # Idempotent: a second reclaim of the same pid is a no-op.
+        assert budget.reclaim_process(proc.pid) == 0
+
+    def test_reclaim_cancels_a_dead_waiters_ticket(self):
+        """A worker SIGKILLed while *queued* must not stall the FIFO line:
+        reclaim cancels its ticket and later acquires get served."""
+        ctx = require_fork_context()
+        budget = SharedFootprintBudget(10, ctx=ctx)
+        budget.acquire(10)  # parent fills the budget
+
+        def child():
+            budget.acquire(5)  # blocks forever behind the parent
+
+        proc = ctx.Process(target=child)
+        proc.start()
+        assert wait_until(lambda: budget.blocked_acquires == 1)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(5)
+        budget.reclaim_process(proc.pid)
+        budget.release(10)
+
+        served = threading.Event()
+
+        def late_acquirer():
+            budget.acquire(10)
+            served.set()
+            budget.release(10)
+
+        thread = threading.Thread(target=late_acquirer)
+        thread.start()
+        assert served.wait(2.0), "dead waiter's ticket wedged the queue"
+        thread.join()
+        assert budget.in_flight == 0

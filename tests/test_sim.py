@@ -5,6 +5,8 @@ profile change drifts outside them, these fail and EXPERIMENTS.md's
 numbers are stale.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.sim.availability import weekly_availability
@@ -153,6 +155,37 @@ class TestHardwareCalibration:
             simulate_leaf_restart(profile, "tape")
         with pytest.raises(ValueError):
             simulate_machine_recovery(profile, "disk", "sideways")
+        with pytest.raises(ValueError):
+            profile.effective_copy_streams(0)
+        with pytest.raises(ValueError):
+            profile.effective_copy_streams(4, "fiber")
+        with pytest.raises(ValueError):
+            profile.parallel_restore_speedup(0)
+
+    def test_gil_caps_thread_backend_copy_streams(self):
+        """The CPython reality the process backend exists to escape: a
+        thread pool's bulk copies see ``gil_copy_streams`` (~1) streams
+        no matter how wide the pool; forked processes see one per
+        worker, up to the memory-bandwidth ceiling."""
+        profile = paper_profile()
+        for workers in (1, 2, 4, 8):
+            assert profile.effective_copy_streams(workers, "thread") == 1.0
+            assert profile.effective_copy_streams(workers, "process") == workers
+            assert profile.parallel_restore_speedup(workers, "thread") == (
+                pytest.approx(1.0)
+            )
+            assert profile.parallel_restore_speedup(workers, "process") == (
+                pytest.approx(min(workers, 4))
+            )
+
+    def test_paper_cpp_has_no_gil_ceiling(self):
+        """The paper's C++ implementation maps to gil_copy_streams=inf:
+        both backends then hit only the bandwidth ceiling."""
+        cpp = replace(paper_profile(), gil_copy_streams=float("inf"))
+        for workers in (1, 2, 4, 8):
+            assert cpp.parallel_restore_speedup(workers, "thread") == (
+                pytest.approx(min(workers, 4))
+            )
 
 
 class TestRolloverSimulation:

@@ -1,0 +1,148 @@
+"""The supervisor loop: respawn-on-request, version rewriting, limits.
+
+The loop logic is tested with a stubbed ``Popen`` (no real workers);
+the end-to-end supervised upgrade handoff — new pid, new version, data
+through shared memory — lives in ``test_process_deployment.py``-style
+integration tests at the bottom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import supervisor
+from repro.server.process_client import LeafProcess, LeafProcessConfig
+from repro.server.restart_manager import (
+    RESTART_EXIT_CODE,
+    check_restart,
+    request_restart,
+)
+
+
+class FakeProc:
+    def __init__(self, code: int):
+        self._code = code
+
+    def wait(self) -> int:
+        return self._code
+
+
+def stub_popen(monkeypatch, codes):
+    """Replace Popen with a stub yielding ``codes``; returns the argv log."""
+    spawned: list[list[str]] = []
+    remaining = list(codes)
+
+    def fake_popen(argv):
+        spawned.append(list(argv))
+        return FakeProc(remaining.pop(0))
+
+    monkeypatch.setattr(supervisor.subprocess, "Popen", fake_popen)
+    return spawned
+
+
+class TestSuperviseLoop:
+    def test_exit_code_triggers_respawn(self, monkeypatch, tmp_path):
+        spawned = stub_popen(
+            monkeypatch, [RESTART_EXIT_CODE, RESTART_EXIT_CODE, 3]
+        )
+        log: list[str] = []
+        code = supervisor.supervise(
+            ["--leaf-id", "x"], restart_dir=str(tmp_path), announce=log.append
+        )
+        assert code == 3  # the non-restart exit becomes the supervisor's
+        assert len(spawned) == 3
+        assert len(log) == 2
+        for argv in spawned:
+            assert argv[1:3] == ["-m", "repro.server.process_worker"]
+            assert argv[3:] == ["--leaf-id", "x"]
+
+    def test_request_file_triggers_respawn_even_on_clean_exit(
+        self, monkeypatch, tmp_path
+    ):
+        spawned = stub_popen(monkeypatch, [0, 0])
+        request_restart(tmp_path, version="v9", at=1_390_000_000)
+        code = supervisor.supervise(
+            ["--leaf-id", "x", "--version", "v1"], restart_dir=str(tmp_path)
+        )
+        assert code == 0
+        assert len(spawned) == 2
+        # The respawn picked up the requested version and cleared the file.
+        assert spawned[1][-2:] == ["--version", "v9"]
+        assert not check_restart(tmp_path)
+
+    def test_max_restarts_breaks_a_respawn_loop(self, monkeypatch, tmp_path):
+        spawned = stub_popen(monkeypatch, [RESTART_EXIT_CODE] * 4)
+        code = supervisor.supervise(
+            ["--leaf-id", "x"], restart_dir=str(tmp_path), max_restarts=3
+        )
+        assert code == RESTART_EXIT_CODE  # gave up mid-request
+        assert len(spawned) == 4  # the original + 3 respawns
+
+    def test_main_strips_the_double_dash(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def fake_supervise(worker_args, restart_dir, max_restarts, announce):
+            seen.update(
+                worker_args=worker_args,
+                restart_dir=restart_dir,
+                max_restarts=max_restarts,
+            )
+            return 0
+
+        monkeypatch.setattr(supervisor, "supervise", fake_supervise)
+        code = supervisor.main(
+            ["--restart-dir", str(tmp_path), "--", "--leaf-id", "x"]
+        )
+        assert code == 0
+        assert seen["worker_args"] == ["--leaf-id", "x"]
+        assert seen["restart_dir"] == str(tmp_path)
+        assert seen["max_restarts"] == 16
+
+
+@pytest.mark.slow
+class TestSupervisedHandoff:
+    """E14's deployment story end to end: a real supervisor, a real
+    worker, a genuine old-process → new-process upgrade with the data
+    riding shared memory."""
+
+    def test_exit_mode_respawns_with_new_pid_and_version(
+        self, shm_namespace, tmp_path
+    ):
+        leaf = LeafProcess(
+            LeafProcessConfig(
+                leaf_id="sup",
+                backup_dir=tmp_path / "sup",
+                namespace=shm_namespace,
+                rows_per_block=256,
+                supervised=True,
+            ),
+            request_timeout=60.0,
+        )
+        leaf.spawn()
+        leaf.add_rows("events", [{"time": i, "v": float(i)} for i in range(300)])
+        before = leaf.status()
+        digest = leaf.digest()
+
+        result = leaf.restart(mode="exit", version="v2")
+        assert result["handoff"]["used_shm"] is True
+        assert result["start"]["method"] == "shared_memory"
+        assert result["start"]["rows"] == 300
+
+        after = leaf.status()
+        assert after["pid"] != before["pid"], "supervisor must spawn a new process"
+        assert after["incarnation"] != before["incarnation"]
+        assert after["version"] == "v2"
+        assert leaf.digest() == digest, "upgrade must not change the data"
+        leaf.shutdown(use_shm=False)
+
+    def test_exit_mode_requires_a_supervisor(self, shm_namespace, tmp_path):
+        leaf = LeafProcess(
+            LeafProcessConfig(
+                leaf_id="nosup",
+                backup_dir=tmp_path / "nosup",
+                namespace=shm_namespace,
+                supervised=False,
+            )
+        )
+        with pytest.raises(Exception, match="supervis"):
+            leaf.restart(mode="exit")
