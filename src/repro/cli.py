@@ -81,6 +81,8 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
     from repro.workloads import service_requests
 
     namespace = f"reprocli-{uuid.uuid4().hex[:8]}"
+    if args.serve_while_restoring:
+        return _bench_serve_while_restoring(args, namespace)
     if args.workers is not None:
         return _bench_parallel_restart(args, namespace)
     if args.disk_tier:
@@ -178,6 +180,148 @@ def _bench_disk_tier(args: argparse.Namespace, namespace: str) -> int:
             f"({legacy_sim / snap_sim:.1f}x)"
         )
     return 0
+
+
+def _bench_serve_while_restoring(args: argparse.Namespace, namespace: str) -> int:
+    """``bench-restart --serve-while-restoring``: experiment E16.
+
+    Measures availability, not throughput: how far into the restore the
+    first (dashboard-shaped) query gets answered, on each backend, and
+    that the lazily-restored leaf is digest-identical to a blocking
+    restore of the same shared memory image.
+    """
+    import json as json_module
+    import os
+    import tempfile
+
+    from repro.core.parallel import ParallelRestartCoordinator
+    from repro.query.query import Aggregation, Query
+    from repro.server.machine import Machine
+    from repro.util.checksum import rows_digest
+    from repro.workloads import service_requests
+
+    leaves = max(1, args.leaves)
+    backends = (
+        ["thread", "process"] if args.backend == "both" else [args.backend]
+    )
+    rows_per_leaf = max(1, args.rows // leaves)
+    # ~4 rows share each second, so the newest data ends near this mark;
+    # the dashboard query scans the last half minute — a couple of the
+    # newest blocks out of the many the leaf holds.
+    newest = 1_390_000_000 + rows_per_leaf // 4 + 1
+    dashboard = Query(
+        table="service_requests",
+        start_time=newest - 30,
+        end_time=newest + 1,
+        aggregations=[Aggregation("count", None)],
+    )
+    results = []
+    exit_code = 0
+    for backend in backends:
+        with tempfile.TemporaryDirectory() as tmp:
+            machine = Machine(
+                "cli",
+                backup_root=tmp,
+                leaves_per_machine=leaves,
+                namespace=f"{namespace}-{backend}",
+                rows_per_block=64,
+                shared_tracker=True,
+            )
+            machine.start_all()
+            for leaf in machine.leaves:
+                leaf.add_rows(
+                    "service_requests", service_requests(rows_per_leaf)
+                )
+                leaf.leafmap.seal_all()
+            data_bytes = machine.nbytes
+            coordinator = ParallelRestartCoordinator(
+                machine.leaves, backend=backend
+            )
+
+            # Baseline: the blocking restart — unavailable until the
+            # last byte — and the content digests it produces.
+            blocking = coordinator.restart_all()
+            if blocking.failures:
+                for outcome in blocking.failures:
+                    print(f"[{backend}] blocking restart FAILED: "
+                          f"{outcome.error}")
+                return 1
+            digests = [
+                rows_digest(leaf.leafmap.snapshot_rows())
+                for leaf in machine.leaves
+            ]
+
+            # Serve-while-restoring: shutdown the same way, then bring
+            # each leaf to serving and query it before the sweep runs
+            # (``sweep=False`` keeps the reading deterministic).
+            outcomes = coordinator.shutdown_all()
+            if any(not o.ok for o in outcomes):
+                print(f"[{backend}] shutdown FAILED")
+                return 1
+            worst_fraction = 0.0
+            first_answer_seconds = 0.0
+            queries_served = 0
+            digests_match = True
+            for leaf, blocking_digest in zip(machine.leaves, digests):
+                started = time.perf_counter()
+                leaf.start(serve_while_restoring=True, sweep=False)
+                leaf.query(dashboard)
+                first_answer_seconds = max(
+                    first_answer_seconds, time.perf_counter() - started
+                )
+                progress = leaf.restore_progress()
+                worst_fraction = max(
+                    worst_fraction, progress.fraction_restored
+                )
+                queries_served += progress.queries_served
+                leaf.wait_restored()
+                if rows_digest(leaf.leafmap.snapshot_rows()) != blocking_digest:
+                    digests_match = False
+            print(
+                f"[{backend}] {leaves} leaves x {rows_per_leaf:,} rows "
+                f"({data_bytes / 1e6:.2f} MB): first query answered with "
+                f"{worst_fraction:.1%} of bytes restored "
+                f"(blocking restore waits for 100%)"
+            )
+            print(
+                f"[{backend}] time to first answer {first_answer_seconds * 1000:.1f} ms "
+                f"vs blocking restore {blocking.restore_seconds * 1000:.1f} ms; "
+                f"digests {'identical' if digests_match else 'DIVERGED'}"
+            )
+            if worst_fraction >= 0.25 or not digests_match:
+                exit_code = 1
+            results.append(
+                {
+                    "backend": backend,
+                    "leaves": leaves,
+                    "rows_per_leaf": rows_per_leaf,
+                    "compressed_bytes": data_bytes,
+                    "fraction_restored_at_first_query": worst_fraction,
+                    "first_answer_seconds": first_answer_seconds,
+                    "blocking_restore_seconds": blocking.restore_seconds,
+                    "queries_served_during_restore": queries_served,
+                    "digests_match": digests_match,
+                }
+            )
+    profile = paper_profile()
+    print(
+        f"simulator, paper-scale leaf: blocking window "
+        f"{_fmt_duration(profile.shm_restart_seconds(1))} vs serving at "
+        f"{_fmt_duration(profile.shm_lazy_restart_seconds(1))} "
+        f"(background fill {_fmt_duration(profile.shm_restore_seconds(1))})"
+    )
+    if args.json:
+        payload = {
+            "experiment": "E16",
+            "rows": args.rows,
+            "leaves": leaves,
+            "cpu_count": os.cpu_count() or 1,
+            "backends": results,
+        }
+        with open(args.json, "w") as fh:
+            json_module.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return exit_code
 
 
 def _bench_parallel_restart(args: argparse.Namespace, namespace: str) -> int:
@@ -478,6 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="FILE",
                    help="write --workers mode measurements as JSON "
                    "(the BENCH_e15.json artifact)")
+    p.add_argument("--serve-while-restoring", action="store_true",
+                   help="experiment E16: answer queries mid-restore via "
+                        "on-demand block fault-in, vs the blocking restore")
     p.add_argument("--disk-tier", action="store_true",
                    help="compare legacy row-format replay against the "
                    "shm-format snapshot tier (E12), incl. torn-file fallback")

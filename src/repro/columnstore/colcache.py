@@ -33,6 +33,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.compression.decoded import DecodedColumn
@@ -61,6 +62,9 @@ class CacheStats:
     misses: int
     evictions: int
     invalidations: int
+    #: Lifetime lookups per column name — the demand signal the lazy
+    #: restore's background sweep orders its fault-ins by.
+    column_lookups: dict[str, int] = dataclass_field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -88,6 +92,11 @@ class DecodedColumnCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        #: Lookups per column *name* (not per block): the heat signal.
+        #: Deliberately not reset by clear() — restores empty the cache,
+        #: but what was hot before the restart is exactly what the lazy
+        #: restore's sweep wants to fault in first.
+        self._column_lookups: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lookup / insert
@@ -96,6 +105,7 @@ class DecodedColumnCache:
     def get(self, block: "RowBlock", name: str) -> DecodedColumn | None:
         """The cached decode of ``block``'s column ``name``, or None."""
         with self._lock:
+            self._column_lookups[name] = self._column_lookups.get(name, 0) + 1
             entry = self._entries.get((block.uid, name))
             if entry is None:
                 self._misses += 1
@@ -195,6 +205,11 @@ class DecodedColumnCache:
         with self._lock:
             return self._nbytes
 
+    def column_heat(self) -> dict[str, int]:
+        """Lifetime lookups per column name (a copy; hottest = largest)."""
+        with self._lock:
+            return dict(self._column_lookups)
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
@@ -205,6 +220,7 @@ class DecodedColumnCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 invalidations=self._invalidations,
+                column_lookups=dict(self._column_lookups),
             )
 
     # ------------------------------------------------------------------

@@ -32,6 +32,12 @@ class LeafMap:
         #: budget and the restart engine has a single thing to drop.
         self.column_cache = column_cache
         self._tables: dict[str, Table] = {}
+        #: The in-progress lazy restore, when one is serving this map.
+        #: Set by :class:`~repro.core.lazyrestore.LazyRestore` at
+        #: directory-publish time and cleared when every block is in (or
+        #: the restore fell back to disk); ``execute_on_leaf`` checks it
+        #: to fault in the blocks a query touches.
+        self.restorer = None
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
@@ -95,6 +101,23 @@ class LeafMap:
         if self.column_cache is None:
             return 0
         return self.column_cache.clear()
+
+    @property
+    def fully_resident(self) -> bool:
+        """False while a lazy restore still has blocks waiting to fault in."""
+        return self.restorer is None or self.restorer.done
+
+    def iter_pending_blocks(self, table: str | None = None):
+        """Yield the block descriptors a lazy restore has not yet adopted.
+
+        Tables are *partially resident* during serve-while-restoring:
+        ``table.blocks`` holds only what has faulted in so far, and this
+        iterator is the other half of the picture.  Empty when no lazy
+        restore is pending.
+        """
+        if self.restorer is None:
+            return iter(())
+        return self.restorer.iter_pending(table)
 
     @property
     def nbytes(self) -> int:

@@ -213,6 +213,22 @@ class Table:
         self._invalidate_cached(self._blocks)
         self._blocks = list(blocks)
 
+    def install_restored_blocks(self, restored: list[RowBlock]) -> None:
+        """Reconcile the lazily-restored prefix with the live block list.
+
+        Unlike :meth:`replace_blocks` (the blocking-restore hook, which
+        drops the whole list and invalidates every cached decode), this
+        installs the growing restored prefix *in directory order* ahead
+        of any blocks sealed from rows added during the restore, and
+        leaves cached decodes alone — already-adopted blocks stay
+        resident, so their entries are still valid.  Blocks that left
+        the table since adoption (expiry, size limits) must be omitted
+        from ``restored`` by the caller; they are not resurrected here.
+        """
+        restored_uids = {block.uid for block in restored}
+        tail = [b for b in self._blocks if b.uid not in restored_uids]
+        self._blocks = list(restored) + tail
+
     def take_blocks(self) -> list[RowBlock]:
         """Remove and return all sealed blocks (shutdown copy loop).
 

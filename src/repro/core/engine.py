@@ -99,6 +99,9 @@ FAULT_POINTS = (
     "restore:table",
     "restore:snapshot_table",
     "restore:before_finish",
+    # Serve-while-restoring boundaries (lazy restore only):
+    "restore:publish_directory",
+    "restore:fault_block",
 )
 
 
@@ -126,6 +129,20 @@ class RestartReport:
     fell_back_to_legacy: bool = False
     peak_tracked_bytes: int = 0
     leaf_states: list[str] = field(default_factory=list)
+    #: Why the recovery ladder stepped down a rung (``None`` = no fall).
+    failure_reason: str | None = None
+    #: What a failed shared memory attempt managed before falling back —
+    #: preserved so availability artifacts don't under-report work done.
+    memory_attempt_tables: int = 0
+    memory_attempt_row_blocks: int = 0
+    memory_attempt_bytes: int = 0
+    memory_attempt_rows: int = 0
+    #: Serve-while-restoring: set on reports produced by a lazy restore.
+    lazy: bool = False
+    bytes_total: int = 0
+    blocks_total: int = 0
+    queries_served_during_restore: int = 0
+    bytes_restored_at_first_query: int | None = None
 
 
 def _exact_size(table_name: str, blocks: list) -> int:
@@ -438,12 +455,20 @@ class RestartEngine:
         leafmap: LeafMap,
         memory_recovery_enabled: bool = True,
         preserve_shm: bool = False,
+        on_disk_fallback: Callable[[], None] | None = None,
     ) -> RestartReport:
         """Restore this leaf's data into an empty ``leafmap``.
 
         Attempts shared memory recovery when it is enabled and the valid
         bit is set; otherwise — or on any exception mid-copy — falls back
         to disk recovery, per Figure 5(b).
+
+        ``on_disk_fallback`` is invoked at the fallback boundary, before
+        any disk rung runs.  The leaf server hooks its status flip here:
+        Figure 5 has the leaf *accepting* adds and queries during the
+        slow disk rungs, so staying in the rejecting memory-recovery
+        status for an entire legacy replay would turn a seconds-long
+        outage into a minutes-long one.
 
         ``preserve_shm`` is the process-backend variant: the restore
         runs in a forked worker whose address space is about to vanish,
@@ -488,6 +513,11 @@ class RestartEngine:
                 meta.close()
                 raise
         if not use_memory:
+            # Covers the race where the valid bit dropped between the
+            # caller's shm_state_valid() check and this attach: the leaf
+            # predicted a memory recovery but gets a disk one.
+            if on_disk_fallback is not None:
+                on_disk_fallback()
             self._recover_from_disk(leafmap, report, leaf)
             leaf.transition(LeafRestoreState.ALIVE)
             return self._finish_report(report, leaf, start)
@@ -507,7 +537,7 @@ class RestartEngine:
             else:
                 meta.unlink()
             report.method = RecoveryMethod.SHARED_MEMORY
-        except Exception:
+        except Exception as exc:
             # Figure 5(b): MEMORY RECOVERY --exception--> DISK RECOVERY.
             # Any failure mid-copy (corruption, truncated segment, even a
             # programming error in the decode path) must route to disk.
@@ -516,10 +546,50 @@ class RestartEngine:
             # (and the shared machine-wide regions) return to baseline.
             self._discard_shm_tracked(meta)
             self._drop_restored_tables(leafmap)
-            report = RestartReport(method=None, fell_back_to_disk=True)
+            # The disk rungs restart the per-method counters from zero,
+            # but what the memory attempt did (and why it died) stays on
+            # the final report.
+            report = RestartReport(
+                method=None,
+                fell_back_to_disk=True,
+                failure_reason=f"{type(exc).__name__}: {exc}",
+                memory_attempt_tables=report.tables,
+                memory_attempt_row_blocks=report.row_blocks,
+                memory_attempt_bytes=report.bytes_copied,
+                memory_attempt_rows=report.rows,
+            )
+            if on_disk_fallback is not None:
+                on_disk_fallback()
             self._recover_from_disk(leafmap, report, leaf)
         leaf.transition(LeafRestoreState.ALIVE)
         return self._finish_report(report, leaf, start)
+
+    def begin_lazy_restore(
+        self,
+        leafmap: LeafMap,
+        memory_recovery_enabled: bool = True,
+        preserve_shm: bool = False,
+        on_disk_fallback: Callable[[], None] | None = None,
+    ):
+        """Start a serve-while-restoring restore; returns a
+        :class:`~repro.core.lazyrestore.LazyRestore` handle.
+
+        The handle publishes the block directory before returning, so
+        the caller can begin serving immediately; blocks fault in as
+        queries touch them and via the handle's ``sweep_one``.  When
+        shared memory is unusable the disk ladder runs blocking inside
+        this call (serve-while-restoring is an shm-tier property) and
+        the handle comes back already done.
+        """
+        from repro.core.lazyrestore import LazyRestore
+
+        return LazyRestore.begin(
+            self,
+            leafmap,
+            memory_recovery_enabled=memory_recovery_enabled,
+            preserve_shm=preserve_shm,
+            on_disk_fallback=on_disk_fallback,
+        )
 
     def _discard_shm_tracked(self, meta: LeafMetadata) -> None:
         """Unlink a leaf's shm state *through the tracker*.
@@ -654,13 +724,15 @@ class RestartEngine:
                 self._restore_from_snapshots(leafmap, report)
                 report.method = RecoveryMethod.DISK_SNAPSHOT
                 return
-            except Exception:
+            except Exception as exc:
                 # Stale generation, torn file, layout mismatch, or any
                 # decode failure: the whole leaf routes down to legacy
                 # replay.  Whatever the snapshot tier installed leaves
                 # through the tracker first, so a half-trusted snapshot
                 # can never co-mingle with replayed state.
                 self._drop_restored_tables(leafmap)
+                if report.failure_reason is None:
+                    report.failure_reason = f"{type(exc).__name__}: {exc}"
                 report.tables = 0
                 report.row_blocks = 0
                 report.rbc_copies = 0

@@ -1,0 +1,695 @@
+"""Serve-while-restoring: lazy, prioritized shared memory restore.
+
+The blocking restore (Figure 7) keeps the leaf unavailable while every
+block is copied out of shared memory — seconds per leaf, and at scale
+the dominant user-visible cost of a rolling upgrade.  This module is the
+"single-pass, incremental restore on demand" idea (*Instant restore
+after a media failure*, PAPERS.md) transplanted onto the shm tier:
+
+1. **Publish a block directory immediately.**  Attach the segments,
+   validate the envelopes, and read only each block's packed header
+   (offset, size, row count, min/max time, column names) — no payload is
+   copied.  The leaf starts serving as soon as the directory is up.
+2. **Fault in on demand.**  ``execute_on_leaf`` asks the restorer for
+   the blocks a query's table and time range touch; each fault-in is a
+   decode + verify + adopt into the live :class:`LeafMap`, charged to
+   the :class:`MemoryTracker` and bounded by the machine-wide
+   :class:`FootprintBudget` exactly like a blocking restore's copy
+   window.
+3. **Sweep the remainder by heat.**  A background thread (owned by the
+   leaf server) calls :meth:`LazyRestore.sweep_one` until nothing is
+   pending, hottest tables first — heat is the decoded-column cache's
+   per-column lookup counters, which deliberately survive the restart's
+   cache clear.
+
+Crash safety is the blocking protocol's, unchanged: the valid bit goes
+down *before* the directory is published, so a process that dies with
+blocks still pending leaves invalid shm behind and the next boot walks
+the disk ladder.  Any fault mid-fault-in routes the whole leaf down the
+same ladder with tracker balances intact — adopted blocks leave the heap
+region, surviving segments leave the shm region — while rows added
+*during* the serving window are carried across the fallback.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.rowblock import RowBlock
+from repro.core.states import (
+    LeafRestoreMachine,
+    LeafRestoreState,
+    TableRestoreMachine,
+    TableRestoreState,
+)
+from repro.errors import CorruptionError, LayoutVersionError, RecoveryError
+from repro.shm.layout import read_block_headers
+from repro.shm.metadata import LeafMetadata
+from repro.shm.segment import ShmSegment
+
+if TYPE_CHECKING:
+    from repro.core.engine import RestartEngine, RestartReport
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """One sealed block the directory knows about but may not hold yet."""
+
+    table: str
+    index: int  # position in the segment's block order
+    offset: int
+    size: int  # packed bytes inside the segment
+    row_count: int
+    min_time: int
+    max_time: int
+    columns: tuple[str, ...]
+
+    def overlaps(self, start: int | None, end: int | None) -> bool:
+        if start is not None and self.max_time < start:
+            return False
+        if end is not None and self.min_time >= end:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class RestoreProgress:
+    """A consistent snapshot of how far a lazy restore has come."""
+
+    bytes_total: int
+    bytes_restored: int
+    blocks_total: int
+    blocks_restored: int
+    queries_served: int
+    bytes_restored_at_first_query: int | None
+    done: bool
+    fell_back_to_disk: bool
+
+    @property
+    def fraction_restored(self) -> float:
+        if self.bytes_total <= 0:
+            return 1.0
+        return self.bytes_restored / self.bytes_total
+
+
+class _TableState:
+    """Per-table bookkeeping: the directory slice plus adoption slots."""
+
+    def __init__(self, record, segment, view, extents) -> None:
+        self.record = record
+        self.segment: ShmSegment = segment
+        self.view = view  # memoryview over the segment's used bytes
+        self.machine = TableRestoreMachine()
+        self.machine.transition(TableRestoreState.MEMORY_RECOVERY)
+        self.pending: dict[int, BlockDescriptor] = {}
+        self.slots: list[RowBlock | None] = [None] * len(extents)
+        #: Directory indexes gone for good (expired while pending, or
+        #: adopted and then expired) — never faulted, never reinstalled.
+        self.dropped: set[int] = set()
+        #: Uids this restorer last installed into the table; an installed
+        #: uid missing from the table means the block left (expiry).
+        self.installed: set[int] = set()
+        self.columns: set[str] = set()
+        for extent in extents:
+            self.columns.update(extent.columns)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+    def restored_blocks(self) -> list[RowBlock]:
+        return [
+            block
+            for index, block in enumerate(self.slots)
+            if block is not None and index not in self.dropped
+        ]
+
+
+class LazyRestore:
+    """One leaf's in-progress serve-while-restoring restore.
+
+    Create through :meth:`RestartEngine.begin_lazy_restore`.  All public
+    methods are safe to call under the leaf server's lock; internal state
+    is additionally guarded by ``self._lock`` so engine-level tests can
+    drive a restorer without a leaf around it.
+    """
+
+    def __init__(
+        self,
+        engine: "RestartEngine",
+        leafmap: LeafMap,
+        preserve_shm: bool,
+        on_disk_fallback: Callable[[], None] | None,
+    ) -> None:
+        self._engine = engine
+        self._leafmap = leafmap
+        self._preserve_shm = preserve_shm
+        self._on_disk_fallback = on_disk_fallback
+        self._lock = threading.RLock()
+        self._machine = LeafRestoreMachine()
+        self._meta: LeafMetadata | None = None
+        self._tables: dict[str, _TableState] = {}
+        self._order: list[str] = []  # publish order, the heat tie-break
+        self._budget = engine.budget
+        self._start = engine.clock.now()
+        self._expire_cutoff: int | None = None
+        self.done = False
+        self.error: BaseException | None = None
+        from repro.core.engine import RestartReport
+
+        self.report: "RestartReport" = RestartReport(method=None, lazy=True)
+        # Progress counters (all guarded by self._lock).
+        self._bytes_total = 0
+        self._bytes_restored = 0
+        self._blocks_total = 0
+        self._blocks_restored = 0
+        self._queries_served = 0
+        self._bytes_at_first_query: int | None = None
+
+    # ------------------------------------------------------------------
+    # Begin: attach, invalidate, publish the directory
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def begin(
+        cls,
+        engine: "RestartEngine",
+        leafmap: LeafMap,
+        memory_recovery_enabled: bool = True,
+        preserve_shm: bool = False,
+        on_disk_fallback: Callable[[], None] | None = None,
+    ) -> "LazyRestore":
+        """Start a lazy restore; returns a handle that may already be done.
+
+        When shared memory is unusable (disabled, absent, invalid) the
+        disk ladder runs *blocking* inside this call — serve-while-
+        restoring only applies to the shm tier — and the returned handle
+        is already ``done`` with the final report.
+        """
+        if len(leafmap):
+            raise RecoveryError("restore requires an empty leaf map")
+        leafmap.drop_column_cache()  # heat counters survive the clear
+        self = cls(engine, leafmap, preserve_shm, on_disk_fallback)
+        engine._fault("restore:start")
+        meta: LeafMetadata | None = None
+        use_memory = memory_recovery_enabled and engine.shm_state_exists()
+        if use_memory:
+            meta = LeafMetadata.attach(engine.namespace, engine.leaf_id)
+            try:
+                try:
+                    valid = (
+                        meta.valid
+                        and meta.layout_version == engine.layout_version
+                    )
+                except (CorruptionError, LayoutVersionError):
+                    valid = False
+                if not valid:
+                    engine._discard_shm_tracked(meta)
+                    meta = None
+                    use_memory = False
+            except Exception:
+                meta.close()
+                raise
+        if not use_memory:
+            self._recover_blocking_disk()
+            return self
+        assert meta is not None
+        with self._lock:
+            self._meta = meta
+            self._machine.transition(LeafRestoreState.MEMORY_RECOVERY)
+            try:
+                meta.set_valid(False)  # interrupted restores must go to disk
+                engine._fault("restore:after_invalidate")
+                self._publish_directory()
+                engine._fault("restore:publish_directory")
+            except Exception as exc:
+                self._fallback(exc)
+                return self
+            self._machine.transition(LeafRestoreState.MEMORY_SERVING)
+            leafmap.restorer = self
+            if all(state.complete for state in self._tables.values()):
+                self._finish_memory()
+        return self
+
+    def _publish_directory(self) -> None:
+        """Attach every table segment and index its blocks by header.
+
+        The expensive part of Figure 7 — decode and copy — is deferred;
+        this only maps the segments and reads packed headers, so the
+        leaf can start serving in directory-scan time.
+        """
+        with self._lock:
+            engine = self._engine
+            assert self._meta is not None
+            records = self._meta.records
+            # A fresh process's tracker has no "shm" region yet; charge the
+            # segments the fault-ins are about to consume (same rule as the
+            # blocking restore) so the footprint sums hold.
+            if engine.tracker.in_region("shm") == 0:
+                for record in records:
+                    with ShmSegment.attach(record.segment_name) as segment:
+                        engine.tracker.allocate(
+                            "shm", segment.size, at=engine.clock.now()
+                        )
+            for record in records:
+                segment = ShmSegment.attach(record.segment_name)
+                try:
+                    view = segment.read_at(0, record.used_bytes)
+                except Exception:
+                    segment.close()
+                    raise
+                try:
+                    table_name, extents = read_block_headers(view)
+                except Exception:
+                    view.release()
+                    segment.close()
+                    raise
+                state = _TableState(record, segment, view, extents)
+                for extent in extents:
+                    desc = BlockDescriptor(
+                        table=record.table_name,
+                        index=len(state.pending),
+                        offset=extent.offset,
+                        size=extent.size,
+                        row_count=extent.row_count,
+                        min_time=extent.min_time,
+                        max_time=extent.max_time,
+                        columns=extent.columns,
+                    )
+                    state.pending[desc.index] = desc
+                    self._bytes_total += desc.size
+                    self._blocks_total += 1
+                self._tables[record.table_name] = state
+                self._order.append(record.table_name)
+                table = self._leafmap.create_table(record.table_name)
+                table.total_rows_ingested = record.rows_ingested
+                table.total_rows_expired = record.rows_expired
+                if state.complete:  # an empty table is restored by definition
+                    state.machine.transition(TableRestoreState.ALIVE)
+                    self.report.tables += 1
+            self.report.bytes_total = self._bytes_total
+            self.report.blocks_total = self._blocks_total
+
+    # ------------------------------------------------------------------
+    # Fault-in
+    # ------------------------------------------------------------------
+
+    def fault_in_query(
+        self, table: str, start: int | None, end: int | None
+    ) -> int:
+        """Fault in the pending blocks a query's scan would touch.
+
+        Called by ``execute_on_leaf`` (and the row oracle) before the
+        block walk.  Blocks outside the query's time range stay pending
+        — that is the whole point — so a dashboard query over the last
+        few minutes answers after faulting a handful of recent blocks.
+        Returns the number of blocks faulted in.
+        """
+        with self._lock:
+            if self.done:
+                return 0
+            self._queries_served += 1
+            self.report.queries_served_during_restore = self._queries_served
+            faulted = 0
+            state = self._tables.get(table)
+            if state is not None:
+                for index in sorted(state.pending):
+                    if state.pending[index].overlaps(start, end):
+                        try:
+                            self._fault_block(state, index)
+                        except Exception:
+                            if self.done and self.error is None:
+                                # The fault routed this leaf down the
+                                # disk ladder and the ladder succeeded:
+                                # the data is now fully resident, so the
+                                # query proceeds against it.
+                                return faulted
+                            raise
+                        faulted += 1
+                self._reconcile(state)
+                self._maybe_finish()
+            if self._bytes_at_first_query is None:
+                self._bytes_at_first_query = self._bytes_restored
+                self.report.bytes_restored_at_first_query = (
+                    self._bytes_restored
+                )
+            return faulted
+
+    def sweep_one(self) -> bool:
+        """Fault in one pending block, hottest table first.
+
+        Returns False once nothing is pending (the restore is finished,
+        or it fell back to disk).  Heat is read live from the decoded-
+        column cache on every call, so the sweep re-prioritizes as query
+        traffic shifts; ties (and a cold cache) fall back to publish
+        order, which matches the blocking restore's table order.
+        """
+        with self._lock:
+            if self.done:
+                return False
+            state = self._hottest_pending()
+            if state is None:
+                self._maybe_finish()
+                return False
+            index = min(state.pending)  # oldest block first within a table
+            try:
+                self._fault_block(state, index)
+            except Exception:
+                if self.done and self.error is None:
+                    return False  # fell back to disk; nothing left to sweep
+                raise
+            self._reconcile(state)
+            self._maybe_finish()
+            return True
+
+    def drain(self) -> None:
+        """Fault in everything still pending (a blocking finish)."""
+        while self.sweep_one():
+            pass
+
+    def _hottest_pending(self) -> _TableState | None:
+        cache = self._leafmap.column_cache
+        heat = cache.column_heat() if cache is not None else {}
+        best: _TableState | None = None
+        best_key: tuple[int, int] | None = None
+        for position, name in enumerate(self._order):
+            state = self._tables[name]
+            if state.complete:
+                continue
+            score = sum(heat.get(column, 0) for column in state.columns)
+            key = (-score, position)
+            if best_key is None or key < best_key:
+                best, best_key = state, key
+        return best
+
+    def _fault_block(self, state: _TableState, index: int) -> None:
+        """Decode, verify, and adopt one block (lock held).
+
+        The block's copy window — segment bytes and fresh heap copy
+        coexisting — is reserved against the machine-wide budget for the
+        duration of the decode, the same invariant the blocking restore
+        holds per table.  Any failure routes the leaf down the disk
+        ladder via :meth:`_fallback` and re-raises.
+        """
+        desc = state.pending[index]
+        engine = self._engine
+        held = 0
+        try:
+            engine._fault("restore:fault_block")
+            if self._budget is not None:
+                self._budget.acquire(desc.size)
+                held = desc.size
+            try:
+                block = RowBlock.unpack(
+                    state.view[desc.offset : desc.offset + desc.size],
+                    copy=True,
+                )
+                block.verify()
+            finally:
+                if self._budget is not None and held:
+                    self._budget.release(held)
+        except Exception as exc:
+            self._fallback(exc)
+            raise
+        engine._track_heap_alloc(block.nbytes)
+        del state.pending[index]
+        state.slots[index] = block
+        self._bytes_restored += desc.size
+        self._blocks_restored += 1
+        self.report.row_blocks += 1
+        self.report.rbc_copies += len(block.schema)
+        self.report.bytes_copied += block.nbytes
+        self.report.rows += block.row_count
+        if state.complete:
+            state.machine.transition(TableRestoreState.ALIVE)
+            self.report.tables += 1
+
+    def _reconcile(self, state: _TableState) -> None:
+        """Reinstall the restored prefix into the live table (lock held).
+
+        Keeps the blocking restore's block order — directory order first,
+        then blocks sealed from rows added during the serving window —
+        so aggregate floats merge in the same order as a blocking
+        restore and the results stay digest-identical.  Adopted blocks
+        that have since left the table (expiry, size limits) are
+        detected here and never resurrected.
+        """
+        table = self._leafmap.get_table(state.record.table_name)
+        present = {block.uid for block in table.blocks}
+        for index, block in enumerate(state.slots):
+            if block is None or index in state.dropped:
+                continue
+            if block.uid in state.installed and block.uid not in present:
+                state.dropped.add(index)
+                state.slots[index] = None
+        restored = state.restored_blocks()
+        table.install_restored_blocks(restored)
+        state.installed = {block.uid for block in restored}
+
+    def _maybe_finish(self) -> None:
+        if not self.done and all(
+            state.complete for state in self._tables.values()
+        ):
+            self._finish_memory()
+
+    # ------------------------------------------------------------------
+    # Expiry during the serving window
+    # ------------------------------------------------------------------
+
+    def expire_before(self, cutoff_time: int) -> int:
+        """Drop pending blocks entirely older than ``cutoff_time``.
+
+        The adopted half of each table expires through the normal
+        ``Table.expire_before``; this handles the not-yet-faulted half
+        (their rows count as expired without ever touching the heap) and
+        remembers the cutoff so a later disk fallback re-applies it to
+        replayed data.  Returns rows dropped from pending blocks.
+        """
+        with self._lock:
+            if self.done:
+                return 0
+            if self._expire_cutoff is None or cutoff_time > self._expire_cutoff:
+                self._expire_cutoff = cutoff_time
+            dropped_rows = 0
+            for state in self._tables.values():
+                expired = [
+                    index
+                    for index, desc in state.pending.items()
+                    if desc.max_time < cutoff_time
+                ]
+                if expired:
+                    table = self._leafmap.get_table(state.record.table_name)
+                    for index in expired:
+                        desc = state.pending.pop(index)
+                        state.dropped.add(index)
+                        self._bytes_total -= desc.size
+                        self._blocks_total -= 1
+                        dropped_rows += desc.row_count
+                        table.total_rows_expired += desc.row_count
+                    self.report.bytes_total = self._bytes_total
+                    self.report.blocks_total = self._blocks_total
+                    if state.complete:
+                        state.machine.transition(TableRestoreState.ALIVE)
+                        self.report.tables += 1
+                self._reconcile(state)
+            self._maybe_finish()
+            return dropped_rows
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def iter_pending(
+        self, table: str | None = None
+    ) -> Iterator[BlockDescriptor]:
+        """Yield (a snapshot of) the descriptors not yet faulted in."""
+        with self._lock:
+            names = [table] if table is not None else list(self._order)
+            snapshot = [
+                state.pending[index]
+                for name in names
+                if (state := self._tables.get(name)) is not None
+                for index in sorted(state.pending)
+            ]
+        return iter(snapshot)
+
+    def progress(self) -> RestoreProgress:
+        with self._lock:
+            return RestoreProgress(
+                bytes_total=self._bytes_total,
+                bytes_restored=self._bytes_restored,
+                blocks_total=self._blocks_total,
+                blocks_restored=self._blocks_restored,
+                queries_served=self._queries_served,
+                bytes_restored_at_first_query=self._bytes_at_first_query,
+                done=self.done,
+                fell_back_to_disk=self.report.fell_back_to_disk,
+            )
+
+    # ------------------------------------------------------------------
+    # Completion, fallback, abandonment
+    # ------------------------------------------------------------------
+
+    def _close_segments(self) -> None:
+        for state in self._tables.values():
+            if state.view is not None:
+                state.view.release()
+                state.view = None
+            if state.segment is not None:
+                state.segment.close()
+                state.segment = None
+
+    def _finish_memory(self) -> None:
+        """Every block is in: consume (or re-arm) the shm state (lock held)."""
+        engine = self._engine
+        for state in self._tables.values():
+            state.view.release()
+            state.view = None
+            if self._preserve_shm:
+                state.segment.close()
+            else:
+                engine.tracker.free(
+                    "shm", state.segment.size, at=engine.clock.now()
+                )
+                state.segment.unlink()
+            state.segment = None
+        assert self._meta is not None
+        if self._preserve_shm:
+            # Verified end to end: re-arm the state for the adopter.
+            self._meta.set_valid(True)
+            self._meta.close()
+        else:
+            self._meta.unlink()
+        self._meta = None
+        from repro.core.engine import RecoveryMethod
+
+        self.report.method = RecoveryMethod.SHARED_MEMORY
+        self._machine.transition(LeafRestoreState.ALIVE)
+        engine._finish_report(self.report, self._machine, self._start)
+        self._leafmap.restorer = None
+        self.done = True
+
+    def _recover_blocking_disk(self) -> None:
+        """No usable shm: run the ordinary disk ladder, blocking."""
+        with self._lock:
+            engine = self._engine
+            if self._on_disk_fallback is not None:
+                self._on_disk_fallback()
+            try:
+                engine._recover_from_disk(
+                    self._leafmap, self.report, self._machine
+                )
+            except Exception as exc:
+                self.error = exc
+                self.done = True
+                raise
+            self._machine.transition(LeafRestoreState.ALIVE)
+            engine._finish_report(self.report, self._machine, self._start)
+            self.done = True
+
+    def _fallback(self, exc: BaseException) -> None:
+        """Route the leaf down the disk ladder after a mid-restore fault.
+
+        The crash-safety argument is the blocking restore's: the valid
+        bit has been down since before the directory was published, so
+        whatever this method manages to do, a *second* failure (or a
+        kill) still leaves a state the next boot refuses to trust.
+        Tracker balances are restored — adopted heap bytes freed,
+        surviving segments discharged — and rows added during the
+        serving window are carried across into the replayed tables.
+        """
+        from repro.core.engine import RestartReport
+
+        engine = self._engine
+        leafmap = self._leafmap
+        with self._lock:
+            if self.done:
+                return
+            # Partial-attempt accounting survives on the final report.
+            attempt = self.report
+            report = RestartReport(
+                method=None,
+                lazy=True,
+                fell_back_to_disk=True,
+                memory_attempt_tables=attempt.tables,
+                memory_attempt_row_blocks=attempt.row_blocks,
+                memory_attempt_bytes=attempt.bytes_copied,
+                memory_attempt_rows=attempt.rows,
+                failure_reason=f"{type(exc).__name__}: {exc}",
+                bytes_total=self._bytes_total,
+                queries_served_during_restore=self._queries_served,
+                bytes_restored_at_first_query=self._bytes_at_first_query,
+            )
+            self.report = report
+            # Pull adopted blocks back out of the live tables, keeping
+            # the data that arrived during the serving window: blocks
+            # sealed from new adds and the open write buffers stay.
+            for state in self._tables.values():
+                table_name = state.record.table_name
+                if table_name not in leafmap:
+                    continue
+                table = leafmap.get_table(table_name)
+                adopted_uids = {
+                    block.uid for block in state.slots if block is not None
+                }
+                adopted_bytes = sum(
+                    block.nbytes for block in state.slots if block is not None
+                )
+                tail = [
+                    block
+                    for block in table.blocks
+                    if block.uid not in adopted_uids
+                ]
+                table.replace_blocks(tail)
+                if adopted_bytes:
+                    engine._track_heap_free(adopted_bytes)
+                state.slots = [None] * len(state.slots)
+                state.installed = set()
+            self._close_segments()
+            if self._meta is not None:
+                engine._discard_shm_tracked(self._meta)
+                self._meta = None
+            leafmap.restorer = None
+            if self._on_disk_fallback is not None:
+                self._on_disk_fallback()
+            # Replay into a scratch map, then graft the replayed blocks
+            # *under* each live table's new data — the replayed rows are
+            # strictly older, so directory order is preserved.
+            scratch = LeafMap(clock=engine.clock)
+            try:
+                engine._recover_from_disk(scratch, report, self._machine)
+            except Exception as ladder_exc:
+                self.error = ladder_exc
+                self.done = True
+                raise
+            for recovered in scratch:
+                table = leafmap.get_or_create(recovered.name)
+                table.install_restored_blocks(recovered.blocks)
+                if self._expire_cutoff is not None:
+                    table.expire_before(self._expire_cutoff)
+            self._machine.transition(LeafRestoreState.ALIVE)
+            engine._finish_report(report, self._machine, self._start)
+            self.done = True
+
+    def abandon(self) -> None:
+        """Drop the mappings without consuming anything (crash path).
+
+        The valid bit is already down, so the segments left behind are
+        exactly what an interrupted blocking restore leaves: invalid shm
+        the next boot discards before walking the disk ladder.
+        """
+        with self._lock:
+            if self.done:
+                return
+            self._close_segments()
+            if self._meta is not None:
+                self._meta.close()
+                self._meta = None
+            self._leafmap.restorer = None
+            self.done = True
+
+
+__all__ = ["BlockDescriptor", "LazyRestore", "RestoreProgress"]

@@ -182,6 +182,11 @@ class ParallelRestartReport:
     #: does not pay.  Kept out of ``restart_window_seconds``.
     adopt_seconds: float = 0.0
     peak_in_flight_bytes: int = 0
+    #: True when the restore phase returned at directory-publish time
+    #: (serve-while-restoring) rather than after the last byte; the
+    #: restart window then measures time-to-serving, and per-leaf
+    #: reports carry restored-bytes-vs-served-queries counters.
+    serve_while_restoring: bool = False
 
     @property
     def restart_window_seconds(self) -> float:
@@ -341,13 +346,19 @@ class ParallelRestartCoordinator:
         return self._run_phase(one)
 
     def restore_all(
-        self, memory_recovery_enabled: bool = True
+        self,
+        memory_recovery_enabled: bool = True,
+        serve_while_restoring: bool = False,
     ) -> list[RestartOutcome]:
         """Process backend only: every worker attaches its leaves' named
         segments and restores them (decode + verify) in its own address
         space, leaving the segments valid for the new serving process to
         adopt.  This is the parallel half of the restore; :meth:`adopt_all`
-        is the sequential handoff shim."""
+        is the sequential handoff shim.  ``serve_while_restoring`` makes
+        each worker drain a *lazy* restore (directory publish, then
+        hottest-first fault-in) instead of the blocking block walk — same
+        bytes, same verification, and the per-leaf reports carry the lazy
+        progress counters across the process boundary."""
         if self.backend != "process":
             raise ValueError("restore_all is a process-backend phase")
         from repro.core import procpool
@@ -358,10 +369,13 @@ class ParallelRestartCoordinator:
             max_workers=self.max_workers,
             budget=self.budget,
             memory_recovery_enabled=memory_recovery_enabled,
+            serve_while_restoring=serve_while_restoring,
         )
 
     def adopt_all(
-        self, memory_recovery_enabled: bool = True
+        self,
+        memory_recovery_enabled: bool = True,
+        serve_while_restoring: bool = False,
     ) -> list[RestartOutcome]:
         """Bring every leaf up in the coordinating process, sequentially.
 
@@ -371,13 +385,22 @@ class ParallelRestartCoordinator:
         (still-valid) segments are consumed by a plain ``start()``.  A
         leaf whose worker died mid-restore has its valid bit down and
         walks the disk ladder here — the crash never wedges adoption.
+
+        With ``serve_while_restoring=True`` each ``start()`` returns at
+        directory-publish time and the leaves fill in behind their
+        background sweeps — call :meth:`wait_restored_all` to drain.
         """
 
         def one(leaf: "LeafServer") -> RestartOutcome:
             started = time.perf_counter()
+            # Install the budget for the duration of the start call; a
+            # lazy restore captures it at begin, so clearing it after
+            # start() returns does not strip the background sweep.
+            leaf.engine.budget = self.budget
             try:
                 report = leaf.start(
-                    memory_recovery_enabled=memory_recovery_enabled
+                    memory_recovery_enabled=memory_recovery_enabled,
+                    serve_while_restoring=serve_while_restoring,
                 )
                 return RestartOutcome(
                     leaf.leaf_id,
@@ -390,11 +413,15 @@ class ParallelRestartCoordinator:
                     error=exc,
                     duration_seconds=time.perf_counter() - started,
                 )
+            finally:
+                leaf.engine.budget = None
 
         return [one(leaf) for leaf in self.leaves]
 
     def start_all(
-        self, memory_recovery_enabled: bool = True
+        self,
+        memory_recovery_enabled: bool = True,
+        serve_while_restoring: bool = False,
     ) -> list[RestartOutcome]:
         """Boot every leaf (shared memory first, disk fallback).
 
@@ -402,8 +429,21 @@ class ParallelRestartCoordinator:
         Process backend: the worker pool restores (in parallel) and the
         coordinator then adopts each leaf; the returned outcomes are the
         workers' — an adoption failure replaces the outcome's error.
+
+        ``serve_while_restoring=True`` brings every leaf to *serving*
+        instead of *restored*: each start returns at directory publish.
+        On the process backend the worker restore phase is skipped
+        entirely — a redundant full copy, since the coordinator's lazy
+        adoption re-reads the still-valid segments anyway — so the
+        unavailability window collapses to the shutdown phase plus the
+        per-leaf directory publish.
         """
         if self.backend == "process":
+            if serve_while_restoring:
+                return self.adopt_all(
+                    memory_recovery_enabled=memory_recovery_enabled,
+                    serve_while_restoring=True,
+                )
             outcomes = self.restore_all(
                 memory_recovery_enabled=memory_recovery_enabled
             )
@@ -415,8 +455,18 @@ class ParallelRestartCoordinator:
                     outcome.error = adoption.error
             return outcomes
         return self._run_phase(
-            lambda leaf: leaf.start(memory_recovery_enabled=memory_recovery_enabled)
+            lambda leaf: leaf.start(
+                memory_recovery_enabled=memory_recovery_enabled,
+                serve_while_restoring=serve_while_restoring,
+            )
         )
+
+    def wait_restored_all(
+        self, timeout: float | None = None
+    ) -> list["RestartReport | None"]:
+        """Drain every leaf's serve-while-restoring sweep; returns the
+        final per-leaf reports (see ``LeafServer.wait_restored``)."""
+        return [leaf.wait_restored(timeout=timeout) for leaf in self.leaves]
 
     def restart_all(
         self,
@@ -424,6 +474,7 @@ class ParallelRestartCoordinator:
         memory_recovery_enabled: bool = True,
         deadline_seconds: float | None = None,
         adopt: bool = True,
+        serve_while_restoring: bool = False,
     ) -> ParallelRestartReport:
         """The full cycle: parallel shutdown, then parallel restore.
 
@@ -434,9 +485,16 @@ class ParallelRestartCoordinator:
         ``adopt`` then folds them into the coordinator (timed separately
         as ``adopt_seconds`` — a harness artifact, not part of the
         restart window).
+
+        With ``serve_while_restoring=True`` the restore phase ends when
+        every leaf is *serving* (directory published, fault-in armed),
+        so ``restart_window_seconds`` measures time-to-availability;
+        the bytes finish in the background (``wait_restored_all``).
         """
         report = ParallelRestartReport(
-            workers=self.max_workers, backend=self.backend
+            workers=self.max_workers,
+            backend=self.backend,
+            serve_while_restoring=serve_while_restoring,
         )
         started = time.perf_counter()
         report.shutdown = self.shutdown_all(
@@ -444,7 +502,7 @@ class ParallelRestartCoordinator:
         )
         report.shutdown_seconds = time.perf_counter() - started
         started = time.perf_counter()
-        if self.backend == "process":
+        if self.backend == "process" and not serve_while_restoring:
             report.restore = self.restore_all(
                 memory_recovery_enabled=memory_recovery_enabled
             )
@@ -460,7 +518,8 @@ class ParallelRestartCoordinator:
                         outcome.error = adoption.error
         else:
             report.restore = self.start_all(
-                memory_recovery_enabled=memory_recovery_enabled
+                memory_recovery_enabled=memory_recovery_enabled,
+                serve_while_restoring=serve_while_restoring,
             )
             report.restore_seconds = time.perf_counter() - started
         if self.budget is not None:

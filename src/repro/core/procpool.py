@@ -85,6 +85,7 @@ def _run_one(
     use_shm: bool,
     memory_recovery_enabled: bool,
     deadline_seconds: float | None,
+    serve_while_restoring: bool,
 ):
     if phase == "shutdown":
         deadline = (
@@ -96,6 +97,18 @@ def _run_one(
     # Restore into a scratch map: this address space is transient, the
     # point is the verified parallel copy and the re-armed valid bit.
     scratch = LeafMap(clock=leaf.clock, rows_per_block=leaf.rows_per_block)
+    if serve_while_restoring:
+        # Drain a lazy restore instead of the blocking block walk: same
+        # bytes, same per-block verify, but through the directory-publish
+        # + hottest-first machinery — so the lazy path (and its progress
+        # counters, marshalled home in the report) runs cross-process.
+        handle = leaf.engine.begin_lazy_restore(
+            scratch,
+            memory_recovery_enabled=memory_recovery_enabled,
+            preserve_shm=True,
+        )
+        handle.drain()
+        return handle.report
     return leaf.engine.restore(
         scratch,
         memory_recovery_enabled=memory_recovery_enabled,
@@ -111,6 +124,7 @@ def _worker_main(
     use_shm: bool,
     memory_recovery_enabled: bool,
     deadline_seconds: float | None,
+    serve_while_restoring: bool,
 ) -> None:
     """Worker body (runs in the forked child)."""
     for index in indices:
@@ -118,7 +132,12 @@ def _worker_main(
         started = time.perf_counter()
         try:
             report = _run_one(
-                leaf, phase, use_shm, memory_recovery_enabled, deadline_seconds
+                leaf,
+                phase,
+                use_shm,
+                memory_recovery_enabled,
+                deadline_seconds,
+                serve_while_restoring,
             )
             conn.send(
                 (index, report, None, time.perf_counter() - started)
@@ -143,6 +162,7 @@ def run_process_phase(
     use_shm: bool = True,
     memory_recovery_enabled: bool = True,
     deadline_seconds: float | None = None,
+    serve_while_restoring: bool = False,
     join_timeout: float = DEFAULT_JOIN_TIMEOUT_SECONDS,
 ) -> list[RestartOutcome]:
     """Run one phase of the parallel restart across forked workers.
@@ -177,6 +197,7 @@ def run_process_phase(
                     use_shm,
                     memory_recovery_enabled,
                     deadline_seconds,
+                    serve_while_restoring,
                 ),
             )
             proc.start()

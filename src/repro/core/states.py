@@ -15,6 +15,12 @@ Four machines:
                    INIT → DISK_SNAPSHOT_RECOVERY → ALIVE
                    MEMORY_RECOVERY → DISK_SNAPSHOT_RECOVERY   (exception)
                    DISK_SNAPSHOT_RECOVERY → DISK_RECOVERY     (stale/torn)
+    Serve-while-restoring splits memory recovery in two: once the block
+    directory is published the leaf *serves* while blocks fault in:
+                   MEMORY_RECOVERY → MEMORY_SERVING           (directory up)
+                   MEMORY_SERVING → ALIVE                     (all blocks in)
+                   MEMORY_SERVING → DISK_SNAPSHOT_RECOVERY    (fault-in error)
+                   MEMORY_SERVING → DISK_RECOVERY             (fault-in error)
 (c) table backup:  ALIVE → PREPARE → COPY_TO_SHM → DONE
     (PREPARE rejects new requests, kills deletes in progress, waits for
     adds/queries in flight, flushes data to disk)
@@ -42,6 +48,9 @@ class LeafBackupState(Enum):
 class LeafRestoreState(Enum):
     INIT = "init"
     MEMORY_RECOVERY = "memory_recovery"
+    #: Block directory published; queries fault blocks in on demand
+    #: while the background sweep fills the remainder.
+    MEMORY_SERVING = "memory_serving"
     DISK_SNAPSHOT_RECOVERY = "disk_snapshot_recovery"
     DISK_RECOVERY = "disk_recovery"
     ALIVE = "alive"
@@ -139,8 +148,14 @@ class LeafRestoreMachine(StateMachine[LeafRestoreState]):
                 },
                 LeafRestoreState.MEMORY_RECOVERY: {
                     LeafRestoreState.ALIVE,
+                    LeafRestoreState.MEMORY_SERVING,  # directory published
                     LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # exception
                     LeafRestoreState.DISK_RECOVERY,  # exception
+                },
+                LeafRestoreState.MEMORY_SERVING: {
+                    LeafRestoreState.ALIVE,  # every block faulted in
+                    LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # fault-in error
+                    LeafRestoreState.DISK_RECOVERY,  # fault-in error
                 },
                 LeafRestoreState.DISK_SNAPSHOT_RECOVERY: {
                     LeafRestoreState.ALIVE,

@@ -65,6 +65,7 @@ def execute_on_leaf(
     if not vectorized:
         return execute_on_leaf_rows(leafmap, query)
     execution = LeafExecution(partial={})
+    _fault_in_for_query(leafmap, query.table, query.start_time, query.end_time)
     if query.table not in leafmap:
         return execution
     table = leafmap.get_table(query.table)
@@ -97,6 +98,7 @@ def execute_on_leaf_rows(leafmap: LeafMap, query: Query) -> LeafExecution:
     same pass as the scan.
     """
     execution = LeafExecution(partial={})
+    _fault_in_for_query(leafmap, query.table, query.start_time, query.end_time)
     if query.table not in leafmap:
         return execution
     table = leafmap.get_table(query.table)
@@ -121,9 +123,26 @@ def rows_in_time_range(
     than handing back a bare ``iter(())`` whose concrete type differs
     from every other call's.
     """
+    _fault_in_for_query(leafmap, table, start, end)
     if table not in leafmap:
         return
     yield from leafmap.get_table(table).scan(start, end)
+
+
+def _fault_in_for_query(
+    leafmap: LeafMap, table: str, start: int | None, end: int | None
+) -> None:
+    """Serve-while-restoring hook: pull in the blocks this query touches.
+
+    While a lazy restore is pending, ``table.blocks`` holds only the
+    already-faulted prefix; the query's time range decides which pending
+    blocks must be decoded from shared memory before the scan below can
+    be complete.  A no-op on a fully-resident leaf — the common case is
+    one attribute load and a None check.
+    """
+    restorer = leafmap.restorer
+    if restorer is not None:
+        restorer.fault_in_query(table, start, end)
 
 
 # ----------------------------------------------------------------------

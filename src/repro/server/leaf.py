@@ -14,6 +14,11 @@ Service status drives what a leaf will do (paper, Figure 5 and Section
 - ``RECOVERING_MEMORY``: accepts nothing — memory recovery takes seconds
   ("during memory recovery [...] no add data requests or queries are
   accepted").
+- ``RECOVERING_MEMORY_SERVING``: the serve-while-restoring extension of
+  memory recovery.  The block directory is published, queries fault in
+  the blocks they touch, a background sweep fills the rest hottest
+  columns first — so the leaf accepts adds *and* queries while most of
+  its bytes still sit in shared memory.
 - ``SHUTTING_DOWN``: rejects new work, finishes what is in flight.
 - ``DOWN``: the process is gone.
 """
@@ -50,6 +55,7 @@ class LeafStatus(Enum):
     INIT = "init"
     RECOVERING_DISK = "recovering_disk"
     RECOVERING_MEMORY = "recovering_memory"
+    RECOVERING_MEMORY_SERVING = "recovering_memory_serving"
     ALIVE = "alive"
     SHUTTING_DOWN = "shutting_down"
     DOWN = "down"
@@ -102,6 +108,12 @@ class LeafServer:
         )
         self.status = LeafStatus.INIT
         self.last_restart_report: RestartReport | None = None
+        #: The in-progress lazy restore (serve-while-restoring) and its
+        #: background sweep thread; both None outside that window.
+        self._restorer = None
+        self._sweep_thread: threading.Thread | None = None
+        self._restore_error: BaseException | None = None
+        self._final_progress = None
         #: One coarse lock serializes the data plane against lifecycle
         #: transitions.  The paper's PREPARE state "waits for ADD/QUERY
         #: requests in progress to complete" before the copy starts —
@@ -119,28 +131,168 @@ class LeafServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def start(self, memory_recovery_enabled: bool = True) -> RestartReport:
+    def start(
+        self,
+        memory_recovery_enabled: bool = True,
+        serve_while_restoring: bool = False,
+        sweep: bool = True,
+    ) -> RestartReport:
         """Boot the leaf: restore from shared memory or disk.
 
         A brand-new leaf (no shared memory, no backup files) comes up
         empty via the disk path.
+
+        With ``serve_while_restoring=True`` and valid shared memory, the
+        leaf publishes the block directory, moves to
+        ``RECOVERING_MEMORY_SERVING``, and returns *before* the bytes are
+        restored: queries fault in what they touch and a background sweep
+        fills the remainder hottest-first.  The returned report is the
+        live in-progress object; call :meth:`wait_restored` for the final
+        one.  ``sweep=False`` suppresses the background fill thread —
+        only queries fault blocks in until ``wait_restored`` drains the
+        rest inline; benchmarks and phase-controlled tests use it to
+        take deterministic progress readings.
+
+        On either path the status is flipped to ``RECOVERING_DISK`` only
+        at the moment the engine actually falls back to disk — never
+        earlier — so a leaf that attempted memory recovery advertises
+        ``RECOVERING_MEMORY`` (rejecting work, per Figure 5) right up to
+        the fallback boundary.
         """
         with self._lock:
             if self.status not in (LeafStatus.INIT, LeafStatus.DOWN):
                 raise StateError(f"cannot start a leaf in status {self.status.value}")
             self.leafmap = self._new_leafmap()
+            self._restore_error = None
+            self._final_progress = None
             will_use_memory = memory_recovery_enabled and self.engine.shm_state_valid()
             self.status = (
                 LeafStatus.RECOVERING_MEMORY
                 if will_use_memory
                 else LeafStatus.RECOVERING_DISK
             )
-            report = self.engine.restore(
-                self.leafmap, memory_recovery_enabled=memory_recovery_enabled
+
+            def on_disk_fallback() -> None:
+                # The Figure 5 boundary: memory recovery is abandoned and
+                # disk recovery begins.  Flipping here (not before, not
+                # after) is what lets tailers route adds to a leaf the
+                # instant it starts accepting them.
+                self.status = LeafStatus.RECOVERING_DISK
+
+            if not serve_while_restoring:
+                report = self.engine.restore(
+                    self.leafmap,
+                    memory_recovery_enabled=memory_recovery_enabled,
+                    on_disk_fallback=on_disk_fallback,
+                )
+                self.last_restart_report = report
+                self.status = LeafStatus.ALIVE
+                return report
+
+            restorer = self.engine.begin_lazy_restore(
+                self.leafmap,
+                memory_recovery_enabled=memory_recovery_enabled,
+                on_disk_fallback=on_disk_fallback,
             )
-            self.last_restart_report = report
+            if restorer.done:
+                # Empty leaf, disk-only boot, or a publish failure that
+                # already ran the ladder — nothing left to serve lazily.
+                self.last_restart_report = restorer.report
+                self._final_progress = restorer.progress()
+                self.status = LeafStatus.ALIVE
+                return restorer.report
+            self._restorer = restorer
+            self.status = LeafStatus.RECOVERING_MEMORY_SERVING
+            if sweep:
+                self._sweep_thread = threading.Thread(
+                    target=self._sweep_loop,
+                    name=f"leaf-{self.leaf_id}-restore-sweep",
+                    daemon=True,
+                )
+                self._sweep_thread.start()
+            return restorer.report
+
+    def _sweep_loop(self) -> None:
+        """Background fill: one block per lock acquisition, hottest table
+        first, so queries interleave freely with the sweep."""
+        while True:
+            with self._lock:
+                restorer = self._restorer
+                if restorer is None:
+                    # crash() abandoned the restore out from under us.
+                    return
+                if restorer.done:
+                    break
+                try:
+                    restorer.sweep_one()
+                except Exception as exc:
+                    # The whole ladder failed; the leaf cannot come up.
+                    self._restore_error = exc
+                    self._restorer = None
+                    self.status = LeafStatus.DOWN
+                    return
+        with self._lock:
+            self._finalize_restore_locked()
+
+    def _finalize_restore_locked(self) -> None:
+        restorer = self._restorer
+        if restorer is None:
+            return
+        self._restorer = None
+        self._final_progress = restorer.progress()
+        if restorer.error is not None:
+            self._restore_error = restorer.error
+            self.status = LeafStatus.DOWN
+            return
+        self.last_restart_report = restorer.report
+        if self.status in (
+            LeafStatus.RECOVERING_MEMORY_SERVING,
+            LeafStatus.RECOVERING_DISK,
+            LeafStatus.RECOVERING_MEMORY,
+        ):
             self.status = LeafStatus.ALIVE
-            return report
+
+    def wait_restored(self, timeout: float | None = None) -> RestartReport | None:
+        """Block until a serve-while-restoring boot has every block in.
+
+        Returns the final restart report (or the last one, when no lazy
+        restore is pending).  Re-raises the restore error if the whole
+        recovery ladder failed in the background.
+        """
+        with self._lock:
+            thread = self._sweep_thread
+        if thread is not None:
+            # Join outside the lock: the sweep thread takes it per block.
+            thread.join(timeout)
+            if thread.is_alive():
+                raise TimeoutError(
+                    f"leaf {self.leaf_id} still restoring after {timeout}s"
+                )
+            with self._lock:
+                self._sweep_thread = None
+        with self._lock:
+            restorer = self._restorer
+            if restorer is not None:
+                # No sweep thread (``sweep=False``, or a query finished
+                # the restore between thread iterations): drain inline.
+                try:
+                    restorer.drain()
+                except Exception as exc:
+                    self._restore_error = exc
+                    self._restorer = None
+                    self.status = LeafStatus.DOWN
+                else:
+                    self._finalize_restore_locked()
+            if self._restore_error is not None:
+                raise self._restore_error
+            return self.last_restart_report
+
+    def restore_progress(self):
+        """Live (or final) serve-while-restoring progress counters."""
+        with self._lock:
+            if self._restorer is not None:
+                return self._restorer.progress()
+            return self._final_progress
 
     def shutdown(
         self,
@@ -154,6 +306,14 @@ class LeafServer:
         pre-paper behaviour whose restart pays the full disk recovery.
         Returns the backup report (None for the disk-only path).
         """
+        # A shutdown issued mid-serve-while-restoring first drains the
+        # restore (outside the lock — the sweep thread needs it).
+        with self._lock:
+            draining = (
+                self._sweep_thread is not None or self._restorer is not None
+            )
+        if draining:
+            self.wait_restored()
         with self._lock:
             return self._shutdown_locked(use_shm, deadline)
 
@@ -193,6 +353,12 @@ class LeafServer:
         disk (the paper never trusts shared memory after a crash).
         """
         with self._lock:
+            restorer = self._restorer
+            if restorer is not None:
+                # The valid bit is already down; abandoning just drops
+                # our handles so the dead process leaks nothing locally.
+                self._restorer = None
+                restorer.abandon()
             self.column_cache.clear()
             self.leafmap = self._new_leafmap()
             self.status = LeafStatus.DOWN
@@ -235,11 +401,19 @@ class LeafServer:
 
     @property
     def accepts_adds(self) -> bool:
-        return self.status in (LeafStatus.ALIVE, LeafStatus.RECOVERING_DISK)
+        return self.status in (
+            LeafStatus.ALIVE,
+            LeafStatus.RECOVERING_DISK,
+            LeafStatus.RECOVERING_MEMORY_SERVING,
+        )
 
     @property
     def accepts_queries(self) -> bool:
-        return self.status in (LeafStatus.ALIVE, LeafStatus.RECOVERING_DISK)
+        return self.status in (
+            LeafStatus.ALIVE,
+            LeafStatus.RECOVERING_DISK,
+            LeafStatus.RECOVERING_MEMORY_SERVING,
+        )
 
     @property
     def used_bytes(self) -> int:
@@ -282,8 +456,17 @@ class LeafServer:
     # ------------------------------------------------------------------
 
     def sync_to_disk(self) -> int:
-        """A periodic sync point; returns rows written."""
+        """A periodic sync point; returns rows written.
+
+        Skipped (returns 0) while a lazy restore is in flight: the
+        table's monotone ingest watermarks already cover the pending
+        blocks — they were synced before the shutdown that produced the
+        shared memory image — and syncing a partially-resident block
+        list would double-write rows into the backup.
+        """
         with self._lock:
+            if self._restorer is not None:
+                return 0
             return self.backup.sync_leafmap(self.leafmap)
 
     def expire(self, retention_seconds: int) -> int:
@@ -293,7 +476,10 @@ class LeafServer:
             # expiry itself: checked outside, a concurrent stop() could
             # land between check and loop and we would expire into a
             # leafmap that is mid-backup.
-            if self.status is not LeafStatus.ALIVE:
+            if self.status not in (
+                LeafStatus.ALIVE,
+                LeafStatus.RECOVERING_MEMORY_SERVING,
+            ):
                 raise StateError(
                     f"leaf {self.leaf_id} cannot expire data in status "
                     f"{self.status.value}"
@@ -303,6 +489,10 @@ class LeafServer:
             for table in self.leafmap:
                 dropped += table.expire_before(cutoff)
                 self.backup.record_expiry(table.name, cutoff)
+            if self._restorer is not None:
+                # Blocks that aged out before ever faulting in are simply
+                # never decoded — expiry reaches into the pending set too.
+                dropped += self._restorer.expire_before(cutoff)
             return dropped
 
     def __repr__(self) -> str:

@@ -86,6 +86,7 @@ class Machine:
         deadline_seconds: float | None = None,
         backend: str = "thread",
         adopt: bool = True,
+        serve_while_restoring: bool = False,
     ) -> ParallelRestartReport:
         """Restart every leaf through shared memory, ``workers`` at a time.
 
@@ -99,7 +100,9 @@ class Machine:
         the budget shared across processes).  ``adopt`` controls whether
         a process-backend restart folds the restored segments back into
         this object's leaves (benchmarks that only time the restart
-        window may skip it).
+        window may skip it).  ``serve_while_restoring`` brings each leaf
+        back to *serving* at directory-publish time instead of waiting
+        for the full copy; ``wait_restored_all`` drains the sweeps.
         """
         coordinator = ParallelRestartCoordinator(
             self.leaves,
@@ -112,7 +115,13 @@ class Machine:
             memory_recovery_enabled=memory_recovery_enabled,
             deadline_seconds=deadline_seconds,
             adopt=adopt,
+            serve_while_restoring=serve_while_restoring,
         )
+
+    def wait_restored_all(self, timeout: float | None = None) -> None:
+        """Drain every leaf's serve-while-restoring background sweep."""
+        for leaf in self.leaves:
+            leaf.wait_restored(timeout=timeout)
 
     @property
     def restarting_leaves(self) -> list[LeafServer]:

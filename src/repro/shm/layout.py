@@ -33,6 +33,7 @@ from repro.columnstore.rowblock import (
     ROWBLOCK_VERSION,
     RowBlock,
 )
+from repro.columnstore.schema import Schema
 from repro.errors import CorruptionError, LayoutVersionError, ShmError
 from repro.shm.segment import ShmSegment
 from repro.util.binary import BufferReader, BufferWriter
@@ -238,6 +239,67 @@ def read_segment_header(view: memoryview) -> tuple[str, list[tuple[int, int]]]:
         if offset + size > used:
             raise CorruptionError("row block extent outside the segment's used bytes")
     return table_name, pairs
+
+
+@dataclass(frozen=True)
+class BlockExtent:
+    """One sealed block's location and header facts inside a segment."""
+
+    offset: int
+    size: int
+    row_count: int
+    min_time: int
+    max_time: int
+    created_at: float
+    columns: tuple[str, ...]
+
+
+def read_block_headers(view: memoryview) -> tuple[str, list[BlockExtent]]:
+    """Parse a segment's preamble plus each block's packed header.
+
+    The cheap directory read of serve-while-restoring: per block only
+    the ``PACK_HEADER`` struct and the serialized schema are touched —
+    no RBC payload is copied or decoded — so publishing a directory over
+    a large segment costs a header scan, not a restore.  Header
+    corruption surfaces here, before the leaf starts serving against
+    the directory; payload corruption still surfaces at fault-in time
+    (``RowBlock.verify``).
+    """
+    table_name, pairs = read_segment_header(view)
+    extents: list[BlockExtent] = []
+    for offset, size in pairs:
+        region = view[offset : offset + size]
+        if len(region) < PACK_HEADER.size:
+            raise CorruptionError("row block extent smaller than its header")
+        magic, version, _, total, row_count, min_time, max_time, created_at = (
+            PACK_HEADER.unpack(region[: PACK_HEADER.size])
+        )
+        if magic != ROWBLOCK_MAGIC:
+            raise CorruptionError(f"bad row block magic 0x{magic:08x}")
+        if version != ROWBLOCK_VERSION:
+            raise LayoutVersionError(
+                f"row block version {version}; this build reads "
+                f"{ROWBLOCK_VERSION}"
+            )
+        if total != size:
+            raise CorruptionError(
+                f"row block header claims {total} bytes; the segment's "
+                f"offset table says {size}"
+            )
+        reader = BufferReader(region, offset=PACK_HEADER.size)
+        schema = Schema.deserialize(reader)
+        extents.append(
+            BlockExtent(
+                offset=offset,
+                size=size,
+                row_count=row_count,
+                min_time=min_time,
+                max_time=max_time,
+                created_at=created_at,
+                columns=tuple(schema.names),
+            )
+        )
+    return table_name, extents
 
 
 def iter_blocks_from_segment(

@@ -77,6 +77,11 @@ class HardwareProfile:
 
     # Fixed overheads.
     process_restart_overhead_s: float = 12.0
+    #: Serve-while-restoring: time to publish the block directory (map
+    #: the segments, scan packed headers — no payload copies).  The leaf
+    #: serves queries from this point; the restore copy continues in the
+    #: background.
+    lazy_publish_overhead_s: float = 0.5
     #: "time to detect that a leaf is done with recovery and then
     #: initiate rollover for the next one" (§4.5) — per rollover slot.
     detection_overhead_s: float = 115.0
@@ -214,6 +219,17 @@ class HardwareProfile:
         return (
             self.shm_shutdown_seconds(concurrent_on_machine)
             + self.shm_restore_seconds(concurrent_on_machine)
+            + self.process_restart_overhead_s
+        )
+
+    def shm_lazy_restart_seconds(self, concurrent_on_machine: int = 1) -> float:
+        """One leaf's *unavailability* window with serve-while-restoring:
+        the shutdown copy still happens up front, but the restore side
+        collapses to the directory publish — the copy-back overlaps with
+        query service instead of blocking it."""
+        return (
+            self.shm_shutdown_seconds(concurrent_on_machine)
+            + self.lazy_publish_overhead_s
             + self.process_restart_overhead_s
         )
 

@@ -22,6 +22,9 @@ class LeafRestartBreakdown:
     copy_out_seconds: float
     copy_in_seconds: float
     overhead_seconds: float
+    #: Serve-while-restoring only: the copy-back that overlaps query
+    #: service.  Not part of ``total_seconds`` — the leaf is up.
+    background_fill_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -71,6 +74,20 @@ def simulate_leaf_restart(
             copy_out_seconds=profile.shm_shutdown_seconds(concurrent_on_machine),
             copy_in_seconds=profile.shm_restore_seconds(concurrent_on_machine),
             overhead_seconds=profile.process_restart_overhead_s,
+        )
+    if method == "shm_lazy":
+        # Serve-while-restoring: the unavailability window ends at the
+        # directory publish; the copy-back runs behind query service.
+        return LeafRestartBreakdown(
+            method="shm_lazy",
+            read_seconds=0.0,
+            translate_seconds=0.0,
+            copy_out_seconds=profile.shm_shutdown_seconds(concurrent_on_machine),
+            copy_in_seconds=profile.lazy_publish_overhead_s,
+            overhead_seconds=profile.process_restart_overhead_s,
+            background_fill_seconds=profile.shm_restore_seconds(
+                concurrent_on_machine
+            ),
         )
     raise ValueError(f"unknown restart method '{method}'")
 

@@ -125,5 +125,5 @@ class TestCli:
         )
         assert rc == 0
         written = Baseline.load(target)
-        assert len(written.entries) == 15
+        assert len(written.entries) == 14
         assert all(e.justification == "TODO: justify or fix" for e in written.entries)

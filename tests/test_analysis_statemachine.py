@@ -55,6 +55,9 @@ class TestRealTree:
     def test_leaf_machines_fully_covered(self, repo_root):
         """The leaf-level ladder is fully exercised by engine + server.
 
+        The lazy restore (serve-while-restoring) owns the
+        MEMORY_SERVING rung, so it is part of the covered set.
+
         (The table-level ladder's unrouted rungs are baselined, which is
         asserted by the end-to-end lint test, not here.)
         """
@@ -62,6 +65,7 @@ class TestRealTree:
             [
                 repo_root / "src/repro/core/states.py",
                 repo_root / "src/repro/core/engine.py",
+                repo_root / "src/repro/core/lazyrestore.py",
                 repo_root / "src/repro/server/leaf.py",
             ],
             root=repo_root,

@@ -271,9 +271,16 @@ class TestFaultInjection:
             p
             for p in FAULT_POINTS
             # restore:start fires before shm is touched; restore:snapshot_table
-            # only fires on the disk ladder (covered in test_core_engine_tiers).
+            # only fires on the disk ladder (covered in test_core_engine_tiers);
+            # the publish/fault_block points only fire on the lazy path
+            # (covered in test_server_serve_while_restoring).
             if p.startswith("restore")
-            and p not in ("restore:start", "restore:snapshot_table")
+            and p not in (
+                "restore:start",
+                "restore:snapshot_table",
+                "restore:publish_directory",
+                "restore:fault_block",
+            )
         ],
     )
     def test_crash_during_restore_falls_back_to_disk(

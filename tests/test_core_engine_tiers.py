@@ -259,6 +259,43 @@ class TestFallbackAccounting:
         assert tracker.in_region("shm") == 0
         assert tracker.in_region("heap") == sum(t.nbytes for t in restored)
 
+    def test_partial_attempt_counters_survive_fallback(
+        self, shm_namespace, tmp_path, clock
+    ):
+        """A failed memory attempt's partial progress and its failure
+        reason must stay on the final report — the disk rungs restart
+        the per-method counters, not the attempt's history."""
+        backup = DiskBackup(tmp_path / "backup")
+        leafmap = make_leafmap(clock, tables=("events", "metrics"))
+        leafmap.seal_all()
+        engine = RestartEngine(
+            "7", namespace=shm_namespace, backup=backup, clock=clock
+        )
+        engine.backup_to_shm(leafmap)
+
+        fired = []
+
+        def explode(p: str) -> None:
+            if p == "restore:table" and not fired:
+                fired.append(p)
+                raise CorruptionError("wedged segment")
+
+        engine._fault = explode
+        restored = LeafMap(clock=clock, rows_per_block=50)
+        report = engine.restore(restored)
+        assert report.fell_back_to_disk
+        assert report.failure_reason == "CorruptionError: wedged segment"
+        # restore:table fires after the first table completed, so the
+        # attempt got exactly one table in before dying.
+        assert report.memory_attempt_tables == 1
+        assert report.memory_attempt_row_blocks == 3
+        assert report.memory_attempt_rows == 120
+        assert report.memory_attempt_bytes > 0
+        # The winning tier's own counters cover the whole leaf and are
+        # not polluted by the attempt's partial work.
+        assert report.tables == 2
+        assert report.rows == 240
+
     def test_double_fallback_shm_then_torn_snapshot_to_legacy(
         self, shm_namespace, tmp_path, clock
     ):

@@ -1,0 +1,413 @@
+"""Serve-while-restoring at the engine level: the LazyRestore handle.
+
+The blocking restore's guarantees — valid-bit crash safety, tracker
+balance, digest-identical recovered data — must all hold when the
+restore is incremental: directory published first, blocks faulted in by
+queries, remainder swept hottest table first, faults routed down the
+disk ladder mid-flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnstore.colcache import DecodedColumnCache
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod, RestartEngine
+from repro.core.parallel import FootprintBudget
+from repro.errors import CorruptionError, RecoveryError
+from repro.query.execute import execute_on_leaf
+from repro.query.query import Aggregation, Query
+from repro.util.memtrack import MemoryTracker
+
+from tests.conftest import make_leafmap
+
+
+def engine_for(namespace, backup, clock, **kwargs):
+    return RestartEngine(
+        "0", namespace=namespace, backup=backup, clock=clock, **kwargs
+    )
+
+
+def seed_shm(namespace, backup, clock, tables=("events",), rows=120):
+    """Back a populated leaf into shared memory; returns its snapshot."""
+    leafmap = make_leafmap(clock, tables=tables, rows=rows)
+    leafmap.seal_all()
+    snapshot = leafmap.snapshot_rows()
+    engine_for(namespace, backup, clock).backup_to_shm(leafmap)
+    return snapshot
+
+
+def fresh_map(clock, cache=None):
+    return LeafMap(clock=clock, rows_per_block=50, column_cache=cache)
+
+
+def count_query(start=None, end=None):
+    return Query(
+        "events",
+        start_time=start,
+        end_time=end,
+        aggregations=[Aggregation("count", None)],
+    )
+
+
+class TestDirectoryPublish:
+    def test_begin_serves_before_any_bytes_are_restored(
+        self, shm_namespace, backup, clock
+    ):
+        seed_shm(shm_namespace, backup, clock)
+        engine = engine_for(shm_namespace, backup, clock)
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        try:
+            assert not handle.done
+            progress = handle.progress()
+            assert progress.bytes_restored == 0
+            assert progress.blocks_restored == 0
+            assert progress.blocks_total == 3  # 120 rows / 50 per block
+            assert progress.fraction_restored == 0.0
+            # The directory is the leaf's view: tables exist, counters
+            # carried over, but no payload bytes were copied.
+            assert restored.restorer is handle
+            assert not restored.fully_resident
+            table = restored.get_table("events")
+            assert table.block_count == 0
+            assert table.total_rows_ingested == 120
+            pending = list(handle.iter_pending("events"))
+            assert len(pending) == 3
+            assert sum(desc.row_count for desc in pending) == 120
+            assert pending[0].min_time == 1000
+            assert handle.report.lazy
+            # Crash safety: the valid bit went down before the publish.
+            assert engine.shm_state_exists()
+            assert not engine.shm_state_valid()
+        finally:
+            handle.drain()
+
+    def test_no_shm_runs_the_disk_ladder_blocking(
+        self, shm_namespace, backup, clock
+    ):
+        leafmap = make_leafmap(clock)
+        leafmap.seal_all()
+        snapshot = leafmap.snapshot_rows()
+        backup.sync_leafmap(leafmap)
+        restored = fresh_map(clock)
+        handle = engine_for(shm_namespace, backup, clock).begin_lazy_restore(
+            restored
+        )
+        assert handle.done
+        assert handle.report.method in (
+            RecoveryMethod.DISK_SNAPSHOT,
+            RecoveryMethod.DISK,
+        )
+        assert restored.fully_resident
+        assert restored.snapshot_rows() == snapshot
+
+
+class TestFaultIn:
+    def test_query_faults_only_the_blocks_it_touches(
+        self, shm_namespace, backup, clock
+    ):
+        seed_shm(shm_namespace, backup, clock)
+        restored = fresh_map(clock)
+        handle = engine_for(shm_namespace, backup, clock).begin_lazy_restore(
+            restored
+        )
+        # Block boundaries: [1000, 1049], [1050, 1099], [1100, 1119].
+        execution = execute_on_leaf(restored, count_query(1000, 1050))
+        assert execution.rows_matched == 50
+        progress = handle.progress()
+        assert progress.blocks_restored == 1
+        assert progress.queries_served == 1
+        assert progress.bytes_restored_at_first_query is not None
+        assert progress.bytes_restored_at_first_query < progress.bytes_total
+        assert len(list(handle.iter_pending("events"))) == 2
+        handle.drain()
+
+    def test_fault_in_query_counts_and_is_idempotent(
+        self, shm_namespace, backup, clock
+    ):
+        seed_shm(shm_namespace, backup, clock)
+        restored = fresh_map(clock)
+        handle = engine_for(shm_namespace, backup, clock).begin_lazy_restore(
+            restored
+        )
+        assert handle.fault_in_query("events", 1050, 1100) == 1
+        assert handle.fault_in_query("events", 1050, 1100) == 0
+        assert handle.fault_in_query("missing_table", None, None) == 0
+        assert handle.fault_in_query("events", None, None) == 2
+        assert handle.done  # everything is in; the handle self-finishes
+
+    def test_drain_matches_blocking_restore_and_consumes_shm(
+        self, shm_namespace, backup, clock
+    ):
+        snapshot = seed_shm(
+            shm_namespace, backup, clock, tables=("events", "metrics")
+        )
+        engine = engine_for(shm_namespace, backup, clock)
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        handle.drain()
+        assert handle.done
+        report = handle.report
+        assert report.method is RecoveryMethod.SHARED_MEMORY
+        assert report.tables == 2
+        assert report.row_blocks == 6
+        assert report.rows == 240
+        assert report.leaf_states == [
+            "init",
+            "memory_recovery",
+            "memory_serving",
+            "alive",
+        ]
+        assert restored.snapshot_rows() == snapshot
+        assert restored.restorer is None
+        assert restored.fully_resident
+        assert not engine.shm_state_exists()
+
+    def test_sweep_prefers_the_hot_table(self, shm_namespace, backup, clock):
+        # Two tables with disjoint value columns, "cold" published first.
+        leafmap = fresh_map(clock)
+        leafmap.get_or_create("cold").add_rows(
+            {"time": 1000 + i, "c": i} for i in range(100)
+        )
+        leafmap.get_or_create("hot").add_rows(
+            {"time": 1000 + i, "h": i} for i in range(100)
+        )
+        leafmap.seal_all()
+        snapshot = leafmap.snapshot_rows()
+        engine_for(shm_namespace, backup, clock).backup_to_shm(leafmap)
+
+        cache = DecodedColumnCache(1 << 20)
+        restored = fresh_map(clock, cache=cache)
+        handle = engine_for(shm_namespace, backup, clock).begin_lazy_restore(
+            restored
+        )
+        # Heat the "h" column: the cache's lifetime lookup counters are
+        # the sweep's priority signal (a probe block's uid is irrelevant
+        # — heat is keyed by column name alone).
+        probe = fresh_map(clock)
+        probe_table = probe.get_or_create("probe")
+        probe_table.add_rows([{"time": 1, "h": 0.0}])
+        probe.seal_all()
+        for _ in range(3):
+            cache.get(probe_table.blocks[0], "h")
+
+        assert handle.sweep_one() and handle.sweep_one()
+        assert list(handle.iter_pending("hot")) == []
+        assert len(list(handle.iter_pending("cold"))) == 2
+        handle.drain()
+        assert restored.snapshot_rows() == snapshot
+
+
+class TestAccounting:
+    def test_tracker_balances_through_a_lazy_restore(
+        self, shm_namespace, backup, clock
+    ):
+        tracker = MemoryTracker()
+        leafmap = make_leafmap(clock)
+        leafmap.seal_all()
+        engine = engine_for(shm_namespace, backup, clock, tracker=tracker)
+        engine.backup_to_shm(leafmap)
+        assert tracker.in_region("heap") == 0
+        shm_bytes = tracker.in_region("shm")
+        assert shm_bytes > 0
+
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        # Publishing copies nothing: shm still charged, heap still empty.
+        assert tracker.in_region("shm") == shm_bytes
+        assert tracker.in_region("heap") == 0
+        handle.fault_in_query("events", 1000, 1050)
+        assert tracker.in_region("heap") > 0
+        handle.drain()
+        assert tracker.in_region("shm") == 0
+        assert tracker.in_region("heap") == sum(t.nbytes for t in restored)
+
+    def test_budget_bounds_each_fault_in_window(
+        self, shm_namespace, backup, clock
+    ):
+        seed_shm(shm_namespace, backup, clock)
+        budget = FootprintBudget(1 << 30)
+        engine = engine_for(shm_namespace, backup, clock, budget=budget)
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        handle.drain()
+        # Each block's copy window was reserved and released one at a
+        # time — the peak is one block, not the whole leaf.
+        assert 0 < budget.peak_in_flight < handle.progress().bytes_total
+
+
+class TestFallback:
+    def test_fault_at_publish_runs_the_ladder_inside_begin(
+        self, shm_namespace, backup, clock
+    ):
+        snapshot = seed_shm(shm_namespace, backup, clock)
+        tracker = MemoryTracker()
+
+        def explode(point):
+            if point == "restore:publish_directory":
+                raise CorruptionError("injected publish fault")
+
+        engine = engine_for(
+            shm_namespace, backup, clock, tracker=tracker, fault_hook=explode
+        )
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        assert handle.done
+        report = handle.report
+        assert report.fell_back_to_disk
+        assert report.failure_reason == "CorruptionError: injected publish fault"
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
+        assert restored.snapshot_rows() == snapshot
+        assert tracker.in_region("shm") == 0
+        assert not engine.shm_state_exists()
+
+    def test_fault_mid_fault_in_routes_down_the_ladder(
+        self, shm_namespace, backup, clock
+    ):
+        snapshot = seed_shm(shm_namespace, backup, clock)
+        tracker = MemoryTracker()
+        fired = []
+
+        def explode(point):
+            if point == "restore:fault_block" and len(fired) == 1:
+                fired.append(point)
+                raise CorruptionError("injected block fault")
+            if point == "restore:fault_block":
+                fired.append(point)
+
+        engine = engine_for(
+            shm_namespace, backup, clock, tracker=tracker, fault_hook=explode
+        )
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        # One block faults in cleanly, the second one dies mid-decode.
+        assert handle.fault_in_query("events", 1000, 1050) == 1
+        handle.fault_in_query("events", None, None)
+        assert handle.done
+        report = handle.report
+        assert report.fell_back_to_disk
+        assert report.failure_reason == "CorruptionError: injected block fault"
+        assert report.method in (
+            RecoveryMethod.DISK_SNAPSHOT,
+            RecoveryMethod.DISK,
+        )
+        # The memory attempt's partial progress survives on the report.
+        assert report.memory_attempt_row_blocks == 1
+        assert report.memory_attempt_rows == 50
+        assert report.queries_served_during_restore == 2
+        assert restored.snapshot_rows() == snapshot
+        assert restored.restorer is None
+        assert tracker.in_region("shm") == 0
+
+    def test_serving_window_adds_survive_the_fallback(
+        self, shm_namespace, backup, clock
+    ):
+        seed_shm(shm_namespace, backup, clock)
+
+        def explode(point):
+            if point == "restore:fault_block":
+                raise CorruptionError("injected block fault")
+
+        engine = engine_for(shm_namespace, backup, clock, fault_hook=explode)
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        # Rows that arrive while the leaf is serving must not be lost
+        # when the restore falls back to replaying the backup.
+        restored.get_table("events").add_rows(
+            [{"time": 9000 + i, "host": "new"} for i in range(5)]
+        )
+        handle.fault_in_query("events", None, None)
+        assert handle.done and handle.report.fell_back_to_disk
+        table = restored.get_table("events")
+        assert table.row_count == 125
+        rows = table.to_rows()
+        assert sum(1 for row in rows if row.get("host") == "new") == 5
+        # Replayed rows are strictly older, so time order is preserved.
+        times = [row["time"] for row in rows]
+        assert times == sorted(times)
+
+    def test_ladder_failure_surfaces_and_marks_the_handle(
+        self, shm_namespace, clock
+    ):
+        # No backup configured: when the lazy restore faults, the disk
+        # ladder has nowhere to go and the error must surface.
+        engine = RestartEngine("0", namespace=shm_namespace, clock=clock)
+        leafmap = make_leafmap(clock)
+        leafmap.seal_all()
+        engine.backup_to_shm(leafmap)
+
+        def explode(point):
+            if point == "restore:fault_block":
+                raise CorruptionError("injected block fault")
+
+        engine._fault = explode
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        with pytest.raises(RecoveryError):
+            handle.fault_in_query("events", None, None)
+        assert handle.done
+        assert handle.error is not None
+
+
+class TestExpiry:
+    def test_expire_drops_pending_blocks_without_faulting_them(
+        self, shm_namespace, backup, clock, tmp_path
+    ):
+        seed_shm(shm_namespace, backup, clock)
+        restored = fresh_map(clock)
+        handle = engine_for(shm_namespace, backup, clock).begin_lazy_restore(
+            restored
+        )
+        before = handle.progress()
+        dropped = handle.expire_before(1050)  # block [1000, 1049] entirely
+        assert dropped == 50
+        after = handle.progress()
+        assert after.blocks_total == before.blocks_total - 1
+        assert after.blocks_restored == 0  # expired, never decoded
+        handle.drain()
+
+        # Control: blocking restore, then the same expiry.
+        from repro.disk.backup import DiskBackup
+
+        control_map = make_leafmap(clock)
+        control_map.seal_all()
+        control_engine = RestartEngine(
+            "ctl",
+            namespace=shm_namespace,
+            backup=DiskBackup(tmp_path / "control"),
+            clock=clock,
+        )
+        control_engine.backup_to_shm(control_map)
+        control = fresh_map(clock)
+        control_engine.restore(control)
+        control.get_table("events").expire_before(1050)
+        assert restored.snapshot_rows() == control.snapshot_rows()
+        assert (
+            restored.get_table("events").total_rows_expired
+            == control.get_table("events").total_rows_expired
+        )
+
+
+class TestAbandon:
+    def test_abandon_leaves_invalid_shm_for_the_next_boot(
+        self, shm_namespace, backup, clock
+    ):
+        snapshot = seed_shm(shm_namespace, backup, clock)
+        engine = engine_for(shm_namespace, backup, clock)
+        restored = fresh_map(clock)
+        handle = engine.begin_lazy_restore(restored)
+        handle.fault_in_query("events", 1000, 1050)
+        handle.abandon()
+        assert handle.done
+        assert restored.restorer is None
+        # The valid bit is down: the next boot distrusts the leftovers,
+        # discards them, and walks the disk ladder to the same data.
+        reborn = fresh_map(clock)
+        report = engine_for(shm_namespace, backup, clock).restore(reborn)
+        assert report.method in (
+            RecoveryMethod.DISK_SNAPSHOT,
+            RecoveryMethod.DISK,
+        )
+        assert reborn.snapshot_rows() == snapshot

@@ -26,8 +26,12 @@ LEGAL = {
         (LeafRestoreState.INIT, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.INIT, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.ALIVE),
+        (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.MEMORY_SERVING),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.DISK_RECOVERY),
+        (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.ALIVE),
+        (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
+        (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.DISK_SNAPSHOT_RECOVERY, LeafRestoreState.ALIVE),
         (LeafRestoreState.DISK_SNAPSHOT_RECOVERY, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.DISK_RECOVERY, LeafRestoreState.ALIVE),

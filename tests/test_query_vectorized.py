@@ -365,6 +365,28 @@ class TestDecodedColumnCache:
         with pytest.raises(ValueError):
             DecodedColumnCache(-1)
 
+    def test_column_heat_counts_lookups_and_survives_clear(self):
+        """The heat counters feed the lazy restore's sweep ordering, so
+        they deliberately outlive ``clear()`` — what was hot before a
+        restart is exactly what the sweep wants to fault in first."""
+        cache = DecodedColumnCache(1 << 20)
+        assert cache.column_heat() == {}
+        leafmap = make_map(cache=cache)
+        execute_on_leaf(leafmap, self.query())
+        heat = cache.column_heat()
+        assert heat  # the query's columns were looked up
+        assert "status" in heat  # the filter column, decoded per block
+        assert heat == cache.stats().column_lookups
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.column_heat() == heat
+        execute_on_leaf(leafmap, self.query())
+        hotter = cache.column_heat()
+        assert all(hotter[name] >= count for name, count in heat.items())
+        # The accessor hands out copies, not the live dict.
+        hotter["status"] = -1
+        assert cache.column_heat() != hotter
+
 
 class TestCacheAcrossRestart:
     def test_cache_dropped_at_shutdown_and_cold_after_restore(
