@@ -30,6 +30,17 @@ from repro.analysis.findings import Finding
 
 BASELINE_VERSION = 1
 
+#: The placeholder ``--update-baseline`` writes for entries nobody has
+#: justified yet.  The runner treats entries still carrying it as a
+#: failure (``--allow-todo`` downgrades that to a warning) so a freshly
+#: generated baseline cannot slip through CI unreviewed.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+def is_todo(justification: str) -> bool:
+    """Whether a justification is still the unreviewed placeholder."""
+    return justification.strip().upper().startswith("TODO")
+
 
 @dataclass(frozen=True)
 class BaselineEntry:
@@ -134,7 +145,7 @@ class Baseline:
                 continue
             seen.add(finding.key)
             note = justifications.get(
-                finding.key, prior.get(finding.key, "TODO: justify or fix")
+                finding.key, prior.get(finding.key, TODO_JUSTIFICATION)
             )
             entries.append(
                 BaselineEntry(

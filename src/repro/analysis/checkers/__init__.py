@@ -7,7 +7,15 @@ function so the runner and the CLI ``--checker`` filter share one list.
 
 from __future__ import annotations
 
-from repro.analysis.checkers import fallback, layout, lifecycle, locks, statemachine
+from repro.analysis.checkers import (
+    fallback,
+    layout,
+    lifecycle,
+    lockorder,
+    locks,
+    resource,
+    statemachine,
+)
 
 CHECKERS = {
     layout.CHECKER: layout.check,
@@ -15,6 +23,17 @@ CHECKERS = {
     locks.CHECKER: locks.check,
     lifecycle.CHECKER: lifecycle.check,
     fallback.CHECKER: fallback.check,
+    resource.CHECKER: resource.check,
+    lockorder.CHECKER: lockorder.check,
 }
 
-__all__ = ["CHECKERS", "fallback", "layout", "lifecycle", "locks", "statemachine"]
+__all__ = [
+    "CHECKERS",
+    "fallback",
+    "layout",
+    "lifecycle",
+    "lockorder",
+    "locks",
+    "resource",
+    "statemachine",
+]

@@ -1,0 +1,585 @@
+"""RL7xx — lock-order and atomicity checker.
+
+PR 6 layered a third lock domain onto the tree: the leaf server's
+coarse lock, the lazy restorer's internal lock, and the footprint
+budget's condition all nest during a serve-while-restoring boot.  Lock
+nesting is fine as long as the acquisition *order* is globally
+consistent and nothing slow happens inside a critical section; this
+checker makes both properties static:
+
+- ``RL701`` the cross-class lock-acquisition graph has a cycle — two
+  code paths take the same pair of locks in opposite orders, the
+  classic deadlock candidate.
+- ``RL702`` a blocking call (budget ``acquire``, ``wait``/``join``,
+  shm ``attach``, ``sleep``, pipe ``recv``...) is made while a lock is
+  held.  Even when it cannot deadlock, it turns every other user of
+  that lock into a queue behind the slow operation — the exact
+  availability failure serve-while-restoring exists to avoid.
+- ``RL703`` a check-then-act on a service-status gate (``status``,
+  ``is_alive``, ``accepts_adds``, ``accepts_queries``) outside the
+  owning lock: the status read and the dependent call are two separate
+  critical sections, so the leaf can flip between them.  Catching the
+  ``StateError`` the re-check raises (the retention idiom) or holding
+  the lock across both (the expire idiom) are the accepted fixes.
+
+The lock graph is name-resolved, not type-resolved: a call ``obj.m()``
+made under a lock adds edges to the locks acquired by *every* known
+class method named ``m``.  That over-approximates (the cost is a rare
+justified baseline entry), which is the right direction for a deadlock
+checker to be wrong in.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.loader import SourceModule, dotted_name, is_self_attr
+
+CHECKER = "lock-order"
+
+#: Terminal factory names that create an in-process lock.  Matched on
+#: the last component so ``threading.RLock``, ``ctx.Lock`` (a
+#: multiprocessing context), and a bare imported ``Condition`` all hit.
+_LOCK_TERMINALS = {"Lock", "RLock", "Condition"}
+
+#: Method/function terminal names that can block for unbounded time.
+#: ``reserve`` is the budget context manager (it acquires on entry);
+#: ``attach`` maps a shared-memory segment.
+_BLOCKING_NAMES = {
+    "acquire",
+    "attach",
+    "join",
+    "recv",
+    "reserve",
+    "select",
+    "sleep",
+    "wait",
+    "wait_for",
+}
+
+#: Service-status gates: the attributes Figure 5 consumers branch on.
+_GATE_ATTRS = {"status", "is_alive", "accepts_adds", "accepts_queries"}
+
+
+@dataclass
+class _LockRegion:
+    """One ``with self.<lock>:`` body (or a lock-held helper's body)."""
+
+    node: str  # "Class.attr"
+    cls: ast.ClassDef
+    method: ast.FunctionDef
+    body: list[ast.stmt]
+    lock_expr: str  # dotted receiver of the held lock, e.g. "self._cond"
+
+
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    module: SourceModule
+    line: int
+    via: str  # the call or with-statement that creates the edge
+
+
+def _factory_terminal(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def _lock_attrs_of(cls: ast.ClassDef) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _factory_terminal(node.value) in _LOCK_TERMINALS:
+                for target in node.targets:
+                    if is_self_attr(target):
+                        locks.add(target.attr)
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.value, ast.Call)
+            and dotted_name(node.value.func) == "field"
+        ):
+            for kw in node.value.keywords:
+                if kw.arg != "default_factory":
+                    continue
+                value = kw.value
+                if isinstance(value, ast.Lambda) and isinstance(value.body, ast.Call):
+                    if _factory_terminal(value.body) in _LOCK_TERMINALS:
+                        locks.add(node.target.id)
+                elif (
+                    dotted_name(value) or ""
+                ).rsplit(".", 1)[-1] in _LOCK_TERMINALS:
+                    locks.add(node.target.id)
+    return locks
+
+
+@dataclass
+class _ClassInfo:
+    cls: ast.ClassDef
+    module: SourceModule
+    lock_attrs: set[str]
+    #: method name -> lock nodes ("Class.attr") it acquires, transitively
+    method_locks: dict[str, set[str]] = field(default_factory=dict)
+    #: method name -> method def
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: methods whose every in-class call site holds a lock (the
+    #: ``_fault_block`` idiom) -> the lock node their callers hold
+    held_methods: dict[str, str] = field(default_factory=dict)
+
+
+def _method_of(info: _ClassInfo, node: ast.AST) -> ast.FunctionDef | None:
+    best: ast.FunctionDef | None = None
+    for ancestor in info.module.ancestors(node):
+        if isinstance(ancestor, ast.FunctionDef):
+            best = ancestor
+        if ancestor is info.cls:
+            return best
+    return None
+
+
+def _held_with_lock(node: ast.AST, info: _ClassInfo) -> str | None:
+    """The lock attr guarding ``node`` via an enclosing ``with``, if any."""
+    for ancestor in info.module.ancestors(node):
+        if ancestor is info.cls:
+            return None
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                expr = item.context_expr
+                if is_self_attr(expr) and expr.attr in info.lock_attrs:
+                    return expr.attr
+    return None
+
+
+def _direct_locks(method: ast.FunctionDef, info: _ClassInfo) -> set[str]:
+    locks = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if is_self_attr(expr) and expr.attr in info.lock_attrs:
+                    locks.add(f"{info.cls.name}.{expr.attr}")
+    return locks
+
+
+def _collect_classes(modules: list[SourceModule]) -> list[_ClassInfo]:
+    infos: list[_ClassInfo] = []
+    for module in modules:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            lock_attrs = _lock_attrs_of(cls)
+            if not lock_attrs:
+                continue
+            info = _ClassInfo(cls=cls, module=module, lock_attrs=lock_attrs)
+            for item in cls.body:
+                if isinstance(item, ast.FunctionDef):
+                    info.methods[item.name] = item
+                    info.method_locks[item.name] = _direct_locks(item, info)
+            _close_over_self_calls(info)
+            _find_held_methods(info)
+            infos.append(info)
+    return infos
+
+
+def _close_over_self_calls(info: _ClassInfo) -> None:
+    """Propagate lock acquisition through same-class self-calls."""
+    changed = True
+    while changed:
+        changed = False
+        for name, method in info.methods.items():
+            acquired = info.method_locks[name]
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in info.method_locks
+                ):
+                    extra = info.method_locks[node.func.attr] - acquired
+                    if extra:
+                        acquired.update(extra)
+                        changed = True
+
+
+def _find_held_methods(info: _ClassInfo) -> None:
+    """Private methods only ever called with a lock already held."""
+    sites: dict[str, list[ast.Call]] = {}
+    for node in ast.walk(info.cls):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            sites.setdefault(node.func.attr, []).append(node)
+    changed = True
+    while changed:
+        changed = False
+        for name in info.methods:
+            if name in info.held_methods or not name.startswith("_") or name.startswith("__"):
+                continue
+            calls = sites.get(name)
+            if not calls:
+                continue
+            locks = set()
+            ok = True
+            for call in calls:
+                attr = _held_with_lock(call, info)
+                if attr is not None:
+                    locks.add(f"{info.cls.name}.{attr}")
+                    continue
+                caller = _method_of(info, call)
+                if caller is not None and caller.name in info.held_methods:
+                    locks.add(info.held_methods[caller.name])
+                    continue
+                ok = False
+                break
+            if ok and len(locks) == 1:
+                info.held_methods[name] = locks.pop()
+                changed = True
+
+
+def _lock_regions(info: _ClassInfo) -> list[_LockRegion]:
+    regions: list[_LockRegion] = []
+    for name, method in info.methods.items():
+        for node in ast.walk(method):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if is_self_attr(expr) and expr.attr in info.lock_attrs:
+                    regions.append(
+                        _LockRegion(
+                            node=f"{info.cls.name}.{expr.attr}",
+                            cls=info.cls,
+                            method=method,
+                            body=node.body,
+                            lock_expr=f"self.{expr.attr}",
+                        )
+                    )
+        held = info.held_methods.get(name)
+        if held is not None:
+            regions.append(
+                _LockRegion(
+                    node=held,
+                    cls=info.cls,
+                    method=method,
+                    body=method.body,
+                    lock_expr=f"self.{held.rsplit('.', 1)[-1]}",
+                )
+            )
+    return regions
+
+
+def _receiver_of(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return dotted_name(call.func.value)
+    return None
+
+
+def _by_method(infos: list[_ClassInfo]) -> dict[str, list[tuple[_ClassInfo, set[str]]]]:
+    index: dict[str, list[tuple[_ClassInfo, set[str]]]] = {}
+    for info in infos:
+        for name, locks in info.method_locks.items():
+            if locks:
+                index.setdefault(name, []).append((info, locks))
+    return index
+
+
+def collect_edges(modules: list[SourceModule]) -> list[_Edge]:
+    """The static lock-acquisition graph, for reprosan cross-checks."""
+    infos = _collect_classes(modules)
+    by_method = _by_method(infos)
+    edges: list[_Edge] = []
+    for info in infos:
+        for region in _lock_regions(info):
+            _scan_region(region, info, by_method, edges)
+    return edges
+
+
+def check(modules: list[SourceModule]) -> list[Finding]:
+    infos = _collect_classes(modules)
+    by_method = _by_method(infos)
+    findings: list[Finding] = []
+    edges: list[_Edge] = []
+    for info in infos:
+        for region in _lock_regions(info):
+            findings.extend(
+                _scan_region(region, info, by_method, edges)
+            )
+    findings.extend(_find_cycles(edges))
+    for module in modules:
+        findings.extend(_check_gates(module, infos))
+    # A method that is both a lock-held helper and takes the lock itself
+    # yields overlapping regions; collapse their duplicate findings.
+    unique: dict[tuple, Finding] = {}
+    for finding in findings:
+        unique.setdefault((finding.code, finding.path, finding.symbol, finding.line), finding)
+    return list(unique.values())
+
+
+def _scan_region(
+    region: _LockRegion,
+    info: _ClassInfo,
+    by_method: dict[str, list[tuple[_ClassInfo, set[str]]]],
+    edges: list[_Edge],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    lock_exprs = {f"self.{attr}" for attr in info.lock_attrs}
+    seen: set[tuple[str, str]] = set()
+    for stmt in region.body:
+        for node in ast.walk(stmt):
+            # Nested `with self.<other_lock>:` — a direct ordering edge.
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if is_self_attr(expr) and expr.attr in info.lock_attrs:
+                        dst = f"{info.cls.name}.{expr.attr}"
+                        if dst != region.node:
+                            edges.append(
+                                _Edge(
+                                    src=region.node,
+                                    dst=dst,
+                                    module=info.module,
+                                    line=node.lineno,
+                                    via=f"with self.{expr.attr}",
+                                )
+                            )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else None
+            receiver = _receiver_of(node)
+            # Ordering edges through calls that acquire other locks.
+            if name is not None:
+                if receiver == "self" and name in info.method_locks:
+                    targets = info.method_locks[name]
+                else:
+                    targets = set()
+                    for other, locks in by_method.get(name, []):
+                        if receiver == "self" and other is info:
+                            continue  # handled above, without name aliasing
+                        targets = targets | locks
+                for dst in targets:
+                    if dst != region.node:
+                        edges.append(
+                            _Edge(
+                                src=region.node,
+                                dst=dst,
+                                module=info.module,
+                                line=node.lineno,
+                                via=f"{receiver or ''}.{name}".lstrip("."),
+                            )
+                        )
+            # Blocking calls under the lock.
+            if name in _BLOCKING_NAMES:
+                if receiver == region.lock_expr:
+                    continue  # the condition-wait idiom releases the lock
+                if receiver in lock_exprs:
+                    continue  # re-acquiring our own (reentrant) lock
+                callname = f"{receiver}.{name}" if receiver else (
+                    dotted_name(func) or name
+                )
+                key = (region.method.name, callname)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        path=info.module.relpath,
+                        line=node.lineno,
+                        code="RL702",
+                        checker=CHECKER,
+                        symbol=f"{info.cls.name}.{region.method.name}:{callname}",
+                        message=(
+                            f"{info.cls.name}.{region.method.name} calls "
+                            f"blocking {callname}() while holding "
+                            f"{region.node} — every other user of the lock "
+                            f"queues behind it"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _find_cycles(edges: list[_Edge]) -> list[Finding]:
+    graph: dict[str, dict[str, _Edge]] = {}
+    for edge in edges:
+        graph.setdefault(edge.src, {}).setdefault(edge.dst, edge)
+    cycles: dict[str, _Edge] = {}
+
+    def dfs(node: str, stack: list[str], on_stack: set[str]) -> None:
+        for nxt, edge in graph.get(node, {}).items():
+            if nxt in on_stack:
+                cycle = stack[stack.index(nxt) :] + [nxt]
+                # Normalize: rotate so the smallest node leads.
+                ring = cycle[:-1]
+                pivot = ring.index(min(ring))
+                normal = ring[pivot:] + ring[:pivot] + [min(ring)]
+                cycles.setdefault(" -> ".join(normal), edge)
+            elif nxt not in visited:
+                visited.add(nxt)
+                stack.append(nxt)
+                on_stack.add(nxt)
+                dfs(nxt, stack, on_stack)
+                on_stack.discard(nxt)
+                stack.pop()
+
+    visited: set[str] = set()
+    for start in sorted(graph):
+        if start in visited:
+            visited.add(start)
+            continue
+        visited.add(start)
+        dfs(start, [start], {start})
+    findings = []
+    for symbol, edge in sorted(cycles.items()):
+        findings.append(
+            Finding(
+                path=edge.module.relpath,
+                line=edge.line,
+                code="RL701",
+                checker=CHECKER,
+                symbol=symbol,
+                message=(
+                    f"lock-order cycle {symbol} (closing edge via "
+                    f"{edge.via} at {edge.module.relpath}:{edge.line}) — "
+                    f"two paths take these locks in opposite orders"
+                ),
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RL703 — check-then-act on status gates
+# ----------------------------------------------------------------------
+
+
+def _gate_reads(test: ast.expr, module: SourceModule) -> list[tuple[str, str]]:
+    """(receiver, gate) pairs read as plain attributes in an if-test.
+
+    Method *calls* like ``proc.is_alive()`` are not gates: the property
+    read is the snapshot the TOCTOU pattern caches, while a call result
+    is understood to be instantaneous either way.
+    """
+    reads = []
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Attribute) or node.attr not in _GATE_ATTRS:
+            continue
+        parent = module.parent(node)
+        if isinstance(parent, ast.Call) and parent.func is node:
+            continue
+        receiver = dotted_name(node.value)
+        if receiver is None:
+            continue
+        reads.append((receiver, node.attr))
+    return reads
+
+
+def _acts_on(receiver: str, stmts: list[ast.stmt]) -> ast.Call | None:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and dotted_name(node.func.value) == receiver
+            ):
+                return node
+    return None
+
+
+def _act_handles_staleness(call: ast.Call, module: SourceModule) -> bool:
+    """Whether the dependent call sits in a try that catches the
+    StateError the under-lock re-check raises."""
+    for ancestor in module.ancestors(call):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if not isinstance(ancestor, ast.Try):
+            continue
+        for handler in ancestor.handlers:
+            if handler.type is None:
+                return True
+            names = [
+                dotted_name(t) or ""
+                for t in (
+                    handler.type.elts
+                    if isinstance(handler.type, ast.Tuple)
+                    else [handler.type]
+                )
+            ]
+            if any(
+                n.rsplit(".", 1)[-1] in ("StateError", "Exception", "BaseException")
+                for n in names
+            ):
+                return True
+    return False
+
+
+def _check_gates(module: SourceModule, infos: list[_ClassInfo]) -> list[Finding]:
+    info_by_cls = {info.cls: info for info in infos}
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.If):
+            continue
+        reads = _gate_reads(node.test, module)
+        if not reads:
+            continue
+        # Suppress gates already inside the owning class's lock (or in a
+        # lock-held helper): the check and the act share the section.
+        cls = next(
+            (a for a in module.ancestors(node) if isinstance(a, ast.ClassDef)),
+            None,
+        )
+        if cls is not None and cls in info_by_cls:
+            info = info_by_cls[cls]
+            if _held_with_lock(node, info) is not None:
+                continue
+            method = _method_of(info, node)
+            if method is not None and method.name in info.held_methods:
+                continue
+        fn = module.enclosing_function(node)
+        fn_name = getattr(fn, "name", "<module>")
+        if cls is not None:
+            fn_name = f"{cls.name}.{fn_name}"
+        # The act: a call on the same receiver in the branch bodies or in
+        # the rest of the enclosing block (the early-continue shape).
+        parent = module.parent(node)
+        following: list[ast.stmt] = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(parent, attr, None)
+            if isinstance(block, list) and node in block:
+                following = block[block.index(node) + 1 :]
+                break
+        for receiver, gate in reads:
+            act = (
+                _acts_on(receiver, node.body)
+                or _acts_on(receiver, node.orelse)
+                or _acts_on(receiver, following)
+            )
+            if act is None:
+                continue
+            if _act_handles_staleness(act, module):
+                continue
+            findings.append(
+                Finding(
+                    path=module.relpath,
+                    line=node.lineno,
+                    code="RL703",
+                    checker=CHECKER,
+                    symbol=f"{fn_name}:{receiver}.{gate}",
+                    message=(
+                        f"{fn_name} branches on {receiver}.{gate} and then "
+                        f"calls into {receiver} outside the owning lock — "
+                        f"the status can flip between check and act; hold "
+                        f"the lock or catch the StateError re-check"
+                    ),
+                )
+            )
+    return findings

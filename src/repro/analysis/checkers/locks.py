@@ -71,7 +71,15 @@ def _lock_attrs_of(cls: ast.ClassDef) -> set[str]:
             and call_name(node.value) == "field"
         ):
             for kw in node.value.keywords:
-                if kw.arg == "default_factory" and dotted_name(kw.value) in _LOCK_FACTORIES:
+                if kw.arg != "default_factory":
+                    continue
+                value = kw.value
+                # `lambda: threading.RLock()` defers the threading lookup
+                # to instance creation (the reprosan late-binding form).
+                if isinstance(value, ast.Lambda) and isinstance(value.body, ast.Call):
+                    if call_name(value.body) in _LOCK_FACTORIES:
+                        locks.add(node.target.id)
+                elif dotted_name(value) in _LOCK_FACTORIES:
                     locks.add(node.target.id)
     return locks
 

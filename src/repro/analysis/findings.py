@@ -13,6 +13,8 @@ Codes are stable, grep-able identifiers grouped by checker:
 - ``RL3xx`` guarded-by lock discipline
 - ``RL4xx`` segment/handle lifecycle leaks
 - ``RL5xx`` fallback routing in recovery tiers
+- ``RL6xx`` resource balance (charge/release pairing across all paths)
+- ``RL7xx`` lock order, blocking-under-lock, and status atomicity
 """
 
 from __future__ import annotations

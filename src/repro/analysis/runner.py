@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.analysis.baseline import Baseline, BaselineEntry, BaselineMatch
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineMatch, is_todo
 from repro.analysis.checkers import CHECKERS
 from repro.analysis.findings import Finding, sort_findings
 from repro.analysis.loader import DEFAULT_SCAN_DIRS, load_modules
@@ -27,10 +27,25 @@ class LintResult:
     """Split into new / accepted / stale baseline entries."""
     checkers_run: list[str] = field(default_factory=list)
     files_scanned: int = 0
+    allow_todo: bool = False
+    """Downgrade TODO-justified baseline entries from failure to warning."""
+
+    @property
+    def todo(self) -> list[BaselineEntry]:
+        """Matched baseline entries still carrying the TODO placeholder."""
+        seen: set[tuple[str, str, str]] = set()
+        entries = []
+        for _, entry in self.match.accepted:
+            if entry.key not in seen and is_todo(entry.justification):
+                seen.add(entry.key)
+                entries.append(entry)
+        return entries
 
     @property
     def failed(self) -> bool:
-        return bool(self.match.new or self.match.stale)
+        if self.match.new or self.match.stale:
+            return True
+        return bool(self.todo) and not self.allow_todo
 
 
 def run_lint(
@@ -38,6 +53,7 @@ def run_lint(
     checkers: Iterable[str] | None = None,
     baseline_path: str | Path | None = None,
     scan_dirs: Iterable[str] = DEFAULT_SCAN_DIRS,
+    allow_todo: bool = False,
 ) -> LintResult:
     """Run the selected checkers over ``root`` and apply the baseline.
 
@@ -77,6 +93,7 @@ def run_lint(
         match=match,
         checkers_run=selected,
         files_scanned=len(modules),
+        allow_todo=allow_todo,
     )
 
 
@@ -86,6 +103,8 @@ _CODE_PREFIX = {
     "guarded-by": "RL3",
     "segment-lifecycle": "RL4",
     "fallback-routing": "RL5",
+    "resource-balance": "RL6",
+    "lock-order": "RL7",
 }
 
 
@@ -113,6 +132,13 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             f"stale baseline entry: {entry.code} {entry.path} [{entry.symbol}] "
             f"— no longer matches any finding; remove it"
         )
+    for entry in result.todo:
+        severity = "warning" if result.allow_todo else "error"
+        lines.append(
+            f"{severity}: TODO-justified baseline entry: {entry.code} "
+            f"{entry.path} [{entry.symbol}] — replace the placeholder with a "
+            f"real justification (or fix the finding)"
+        )
     lines.append("")
     lines.append(
         f"reprolint: {len(result.match.new)} new, "
@@ -136,6 +162,7 @@ def render_json(result: LintResult) -> str:
             "new": len(result.match.new),
             "accepted": len(result.match.accepted),
             "stale": len(result.match.stale),
+            "todo": len(result.todo),
             "files_scanned": result.files_scanned,
             "checkers": result.checkers_run,
             "failed": result.failed,

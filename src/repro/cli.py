@@ -17,6 +17,7 @@ import argparse
 import sys
 import time
 import uuid
+from pathlib import Path
 from dataclasses import replace
 
 from repro.cluster.dashboard import render_dashboard
@@ -557,6 +558,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             root=args.root,
             checkers=args.checker or None,
             baseline_path=args.baseline,
+            allow_todo=args.allow_todo,
         )
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
@@ -576,7 +578,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(result))
     else:
         print(render_text(result, verbose=args.verbose))
-    return 1 if result.failed else 0
+    exit_code = 1 if result.failed else 0
+    if args.san_report:
+        import json as _json
+
+        from repro.analysis.loader import DEFAULT_SCAN_DIRS, load_modules
+        from repro.analysis.reprosan import cross_check
+
+        try:
+            report = _json.loads(Path(args.san_report).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"repro lint: cannot read --san-report: {exc}", file=sys.stderr)
+            return 2
+        modules = load_modules(Path(args.root), DEFAULT_SCAN_DIRS)
+        checked = cross_check(report, modules)
+        print()
+        print(
+            f"reprosan cross-check: {len(checked['runtime_edges'])} runtime "
+            f"edges, {len(checked['cycles'])} cycles, "
+            f"{len(checked['inversions'])} inversions vs the static graph"
+        )
+        for cycle in checked["cycles"]:
+            print(f"  cycle observed at runtime: {cycle}")
+        for inversion in checked["inversions"]:
+            print(
+                f"  order inversion: runtime took {inversion} but the "
+                f"static graph only knows the reverse"
+            )
+        for edge in checked["unpredicted"]:
+            print(f"  note: runtime edge not in the static graph: {edge}")
+        for edge in checked["unobserved"]:
+            print(f"  note: static edge not exercised by the test run: {edge}")
+        if not checked["ok"]:
+            exit_code = 1
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -670,9 +705,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this checker (repeatable); default: all",
     )
     p.add_argument(
+        "--allow-todo",
+        action="store_true",
+        help="downgrade TODO-justified baseline entries from error to warning",
+    )
+    p.add_argument(
         "--update-baseline",
         action="store_true",
         help="accept the current findings into the baseline file",
+    )
+    p.add_argument(
+        "--san-report",
+        default=None,
+        metavar="FILE",
+        help="cross-check a reprosan JSON report (pytest --reprosan) "
+        "against the RL7xx static lock graph",
     )
     p.add_argument(
         "-v", "--verbose", action="store_true",

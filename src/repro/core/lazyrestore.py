@@ -247,16 +247,19 @@ class LazyRestore:
             records = self._meta.records
             # A fresh process's tracker has no "shm" region yet; charge the
             # segments the fault-ins are about to consume (same rule as the
-            # blocking restore) so the footprint sums hold.
-            if engine.tracker.in_region("shm") == 0:
-                for record in records:
-                    with ShmSegment.attach(record.segment_name) as segment:
-                        engine.tracker.allocate(
-                            "shm", segment.size, at=engine.clock.now()
-                        )
+            # blocking restore) so the footprint sums hold.  The charge
+            # rides the directory attach below — one attach per segment,
+            # not a separate probe pass.  A failure mid-loop leaves some
+            # segments uncharged, which _discard_shm_tracked's min() guard
+            # absorbs on the fallback.
+            charge_shm = engine.tracker.in_region("shm") == 0
             for record in records:
                 segment = ShmSegment.attach(record.segment_name)
                 try:
+                    if charge_shm:
+                        engine.tracker.allocate(
+                            "shm", segment.size, at=engine.clock.now()
+                        )
                     view = segment.read_at(0, record.used_bytes)
                 except Exception:
                     segment.close()

@@ -226,6 +226,10 @@ def run_process_phase(
 
     by_index: dict[int, RestartOutcome] = {}
     for receiver, proc, indices in jobs:
+        # A worker wedged past the collection deadline leaves its
+        # receiver in `pending` without an EOF; close unconditionally
+        # (idempotent) so a crashed phase cannot leak pipe fds.
+        receiver.close()
         proc.join(timeout=5.0)
         if proc.is_alive():  # wedged past the join timeout: treat as dead
             proc.kill()

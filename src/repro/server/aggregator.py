@@ -9,6 +9,7 @@ restarts tolerable in the first place.
 
 from __future__ import annotations
 
+from repro.errors import StateError
 from repro.query.aggregate import merge_leaf_results
 from repro.query.query import Query, QueryResult
 from repro.server.leaf import LeafServer
@@ -46,7 +47,13 @@ class Aggregator:
         for leaf in self._leaves:
             if not leaf.accepts_queries:
                 continue
-            execution = leaf.query(query)
+            try:
+                execution = leaf.query(query)
+            except StateError:
+                # The leaf began restarting between the gate check and
+                # the call; it contributes nothing, like any other
+                # non-accepting leaf, and coverage reflects it.
+                continue
             partials.append(execution.partial)
             responded += 1
             rows_scanned += execution.rows_scanned
@@ -77,8 +84,14 @@ class Aggregator:
         for leaf in self._leaves:
             if not leaf.accepts_queries:
                 continue
+            try:
+                execution = leaf.query(query)
+            except StateError:
+                # Same race as in query(): the leaf flipped to a
+                # non-serving status after the gate check.
+                continue
             responded += 1
-            for group, states in leaf.query(query).partial.items():
+            for group, states in execution.partial.items():
                 mine = merged.get(group)
                 if mine is None:
                     merged[group] = [

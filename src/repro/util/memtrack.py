@@ -18,6 +18,24 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
+
+#: Audit seam for the reprosan runtime sanitizer: when set, every
+#: successful allocate/free reports (event, region, nbytes, tracker_id)
+#: so a test harness can balance charges against frees per tracker.
+#: None in production — the accounting itself never depends on it.
+_audit_hook: "Callable[[str, str, int, int], None] | None" = None
+
+
+def set_audit_hook(
+    hook: "Callable[[str, str, int, int], None] | None",
+) -> "Callable[[str, str, int, int], None] | None":
+    """Install (or clear, with ``None``) the audit hook; returns the
+    previous hook so callers can restore it."""
+    global _audit_hook
+    previous = _audit_hook
+    _audit_hook = hook
+    return previous
 
 
 @dataclass
@@ -36,8 +54,11 @@ class MemoryTracker:
     regions: dict[str, int] = field(default_factory=dict)
     peak_total: int = 0
     _history: list[tuple[float, int]] = field(default_factory=list)
+    # The lambda defers the `threading.RLock` lookup to instance
+    # creation, so a sanitizer that patches `threading` after this
+    # module is imported still instruments the tracker's lock.
     _lock: threading.RLock = field(
-        default_factory=threading.RLock, repr=False, compare=False
+        default_factory=lambda: threading.RLock(), repr=False, compare=False
     )
 
     def allocate(self, region: str, nbytes: int, at: float | None = None) -> None:
@@ -47,6 +68,8 @@ class MemoryTracker:
         with self._lock:
             self.regions[region] = self.regions.get(region, 0) + nbytes
             self._after_change(at)
+        if _audit_hook is not None:
+            _audit_hook("allocate", region, nbytes, id(self))
 
     def free(self, region: str, nbytes: int, at: float | None = None) -> None:
         """Record ``nbytes`` freed from ``region``."""
@@ -61,6 +84,8 @@ class MemoryTracker:
                 )
             self.regions[region] = current - nbytes
             self._after_change(at)
+        if _audit_hook is not None:
+            _audit_hook("free", region, nbytes, id(self))
 
     def _after_change(self, at: float | None) -> None:
         total = self.total

@@ -20,6 +20,58 @@ from repro.util.clock import ManualClock
 SHM_DIR = Path("/dev/shm")
 
 
+# ----------------------------------------------------------------------
+# reprosan — runtime lock-order / resource-balance sanitizer
+# ----------------------------------------------------------------------
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("reprosan")
+    group.addoption(
+        "--reprosan",
+        action="store_true",
+        default=False,
+        help="instrument repro locks, budgets, and trackers; fail tests "
+        "on observed lock-order cycles or unreleased budget bytes",
+    )
+    group.addoption(
+        "--reprosan-report",
+        default="reprosan.json",
+        metavar="FILE",
+        help="where to write the sanitizer JSON report "
+        "(feeds `repro lint --san-report`)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--reprosan"):
+        from repro.analysis import reprosan
+
+        config._reprosan = reprosan.install(
+            root=Path(__file__).resolve().parent.parent
+        )
+
+
+def pytest_unconfigure(config):
+    san = getattr(config, "_reprosan", None)
+    if san is not None:
+        san.write_report(config.getoption("--reprosan-report"))
+        san.uninstall()
+        config._reprosan = None
+
+
+@pytest.fixture(autouse=True)
+def _reprosan_guard(request):
+    san = getattr(request.config, "_reprosan", None)
+    if san is None:
+        yield
+        return
+    san.begin_test(request.node.nodeid)
+    yield
+    record = san.end_test()
+    assert not record["problems"], "reprosan: " + "; ".join(record["problems"])
+
+
 @pytest.fixture
 def shm_namespace():
     """A unique shared-memory namespace, leak-checked at teardown."""

@@ -1,0 +1,73 @@
+"""Fixture: lock-order and atomicity violations reprolint must catch.
+
+- ``Directory``/``Budget`` take each other's locks in opposite orders:
+  ``Directory.publish`` holds its lock and calls into the budget (which
+  takes the budget lock), while ``Budget.rebalance`` holds the budget
+  lock and calls back into the directory — the RL701 cycle.
+- ``Directory.publish`` also maps a segment and blocks on the budget
+  while holding its lock (RL702, the pre-fix ``_publish_directory`` /
+  ``_fault_block`` shapes).
+- ``Router.dispatch`` branches on ``leaf.accepts_queries`` and then
+  calls ``leaf.query`` with no lock and no ``StateError`` handling
+  (RL703, the pre-fix aggregator shape).
+"""
+
+import threading
+
+
+class Directory:
+    def __init__(self, budget, segments):
+        self._lock = threading.RLock()
+        self._budget = budget
+        self._segments = segments
+        self._published = []
+
+    def publish(self):
+        with self._lock:
+            for segment in self._segments:
+                handle = segment.attach()
+                self._budget.admit(handle.size)
+                self._published.append(handle)
+
+    def fault_one(self, desc):
+        with self._lock:
+            self._budget.acquire(desc.size)
+            try:
+                return desc.decode()
+            finally:
+                self._budget.release(desc.size)
+
+    def refresh(self):
+        with self._lock:
+            return list(self._published)
+
+
+class Budget:
+    def __init__(self, directory, limit):
+        self._lock = threading.Lock()
+        self._directory = directory
+        self._limit = limit
+        self._in_flight = 0
+
+    def admit(self, nbytes):
+        with self._lock:
+            self._in_flight += nbytes
+
+    def rebalance(self):
+        with self._lock:
+            # Opposite nesting: budget lock held, directory lock taken.
+            published = self._directory.refresh()
+            self._in_flight = sum(h.size for h in published)
+
+
+class Router:
+    def __init__(self, leaves):
+        self._leaves = leaves
+
+    def dispatch(self, query):
+        answers = []
+        for leaf in self._leaves:
+            if not leaf.accepts_queries:
+                continue
+            answers.append(leaf.query(query))
+        return answers

@@ -1,0 +1,95 @@
+"""Fixture: disciplined lock usage reprolint must accept.
+
+Consistent one-way lock nesting, the condition-wait idiom (waiting on
+the held lock releases it), slow work hoisted out of the critical
+section, and both accepted check-then-act forms: holding the owning
+lock across check and act, and catching the ``StateError`` the
+under-lock re-check raises.
+"""
+
+import threading
+
+
+class Budget:
+    def __init__(self, limit):
+        self._cond = threading.Condition()
+        self._limit = limit
+        self._in_flight = 0
+
+    def acquire(self, nbytes):
+        with self._cond:
+            while self._in_flight + nbytes > self._limit:
+                self._cond.wait()  # releases the condition while waiting
+            self._in_flight += nbytes
+
+    def release(self, nbytes):
+        with self._cond:
+            self._in_flight -= nbytes
+            self._cond.notify_all()
+
+
+class Directory:
+    """Nests into Budget (one way only) and attaches outside the lock."""
+
+    def __init__(self, budget, segments):
+        self._lock = threading.RLock()
+        self._budget = budget
+        self._segments = segments
+        self._published = []
+
+    def publish(self):
+        # Slow segment mapping happens before the critical section;
+        # only the directory install holds the lock.
+        handles = [segment.attach() for segment in self._segments]
+        with self._lock:
+            self._published.extend(handles)
+
+    def fault_one(self, desc):
+        block = desc.decode()
+        with self._lock:
+            self._published.append(block)
+
+
+class Leaf:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.status = "alive"
+
+    @property
+    def accepts_queries(self):
+        return self.status == "alive"
+
+    def query(self, query):
+        with self._lock:
+            if self.status != "alive":
+                raise StateError("not serving")
+            return query
+
+    def expire(self, cutoff):
+        with self._lock:
+            # Check and act share the critical section: the accepted
+            # in-class form.
+            if self.status != "alive":
+                raise StateError("not serving")
+            self.status = "expiring"
+            self.status = "alive"
+
+
+class StateError(Exception):
+    pass
+
+
+class Router:
+    def __init__(self, leaves):
+        self._leaves = leaves
+
+    def dispatch(self, query):
+        answers = []
+        for leaf in self._leaves:
+            if not leaf.accepts_queries:
+                continue
+            try:
+                answers.append(leaf.query(query))
+            except StateError:
+                continue  # flipped between check and act: skip it
+        return answers

@@ -1,0 +1,73 @@
+"""Fixture: resource-balance violations reprolint must catch.
+
+Each class reproduces the shape of a historical accounting leak:
+
+- ``Pr2FallbackAttach`` is the PR 2 bug: the restore path charges the
+  tracker for every attached segment, and the fallback path rebuilds
+  from disk without ever freeing the shm charges — nothing in the
+  module releases the pair at all.
+- ``Pr6FaultIn`` is the PR 6 bug: the fault-in path acquires budget,
+  runs the risky decode, and only releases afterwards — an exception
+  in the decode leaks the charge even though the normal path balances.
+- ``ReserveMisuse`` calls the budget's ``reserve`` context manager as
+  a plain function, so its pairing never engages.
+"""
+
+
+class Pr2FallbackAttach:
+    def __init__(self, tracker, segments):
+        self.tracker = tracker
+        self.segments = segments
+
+    def attach_all(self):
+        handles = []
+        for segment in self.segments:
+            handle = segment.attach()
+            self.tracker.allocate("shm", handle.size)
+            handles.append(handle)
+        return handles
+
+    def fallback(self):
+        # Pre-fix PR 2: replays from disk but the shm charges made by
+        # attach_all are simply forgotten — no tracker.free anywhere.
+        self.segments = []
+        return self.replay_from_disk()
+
+    def replay_from_disk(self):
+        return []
+
+
+class Pr6FaultIn:
+    def __init__(self, budget, tracker):
+        self._budget = budget
+        self.tracker = tracker
+
+    def fault_block(self, desc):
+        self._budget.acquire(desc.size)
+        block = desc.decode()  # raises on a corrupt block
+        block.verify()
+        self._budget.release(desc.size)
+        return block
+
+    def charge_cache(self, nbytes):
+        self._charge(nbytes)
+        self.evict_to_fit()  # can raise mid-eviction
+        self._discharge(nbytes)
+
+    def _charge(self, nbytes):
+        self.used = getattr(self, "used", 0) + nbytes
+
+    def _discharge(self, nbytes):
+        self.used -= nbytes
+
+    def evict_to_fit(self):
+        pass
+
+
+class ReserveMisuse:
+    def __init__(self, budget):
+        self._budget = budget
+
+    def start(self, nbytes):
+        guard = self._budget.reserve(nbytes)
+        return guard

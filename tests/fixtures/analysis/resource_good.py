@@ -1,0 +1,72 @@
+"""Fixture: balanced resource handling reprolint must accept.
+
+Every idiom the real tree uses: try/finally in the same function,
+charge-then-immediate-try/finally, cross-method handoff (publish
+charges, finish frees), the ``with reserve(...)`` context manager,
+and an explicitly documented handoff pragma.
+"""
+
+
+class BalancedFaultIn:
+    def __init__(self, budget, tracker):
+        self._budget = budget
+        self.tracker = tracker
+
+    def fault_block(self, desc):
+        self._budget.acquire(desc.size)
+        held = desc.size
+        try:
+            block = desc.decode()
+            block.verify()
+            return block
+        finally:
+            self._budget.release(held)
+
+    def copy_out(self, table):
+        estimate = table.nbytes
+        self._budget.acquire(estimate)
+        held = estimate
+        try:
+            segment = table.pack()
+            self.tracker.allocate("shm", segment.size)
+            if segment.size > estimate:
+                self._budget.release(held)
+                held = 0
+                self._budget.acquire(segment.size)
+                held = segment.size
+            return segment
+        except Exception:
+            self.tracker.free("shm", 0)
+            raise
+        finally:
+            self._budget.release(held)
+
+    def reserved_restore(self, record):
+        with self._budget.reserve(record.used_bytes):
+            return record.decode()
+
+
+class HandoffLifecycle:
+    """Charges in one method, frees in another — the publish/finish idiom."""
+
+    def __init__(self, tracker):
+        self.tracker = tracker
+
+    def publish(self, segments):
+        for segment in segments:
+            self.tracker.allocate("shm", segment.size)
+
+    def finish(self, segments):
+        for segment in segments:
+            self.tracker.free("shm", segment.size)
+
+
+class DocumentedHandoff:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def adopt(self, block):
+        # Ownership moves to the engine's heap accounting; the matching
+        # free happens in the engine's discard path, another module.
+        self.engine.tracker.allocate("heap", block.nbytes)  # reprolint: handoff
+        self.engine.adopt(block)

@@ -1,0 +1,84 @@
+"""Fixture tests for the lock-order/atomicity checker (RL7xx)."""
+
+from pathlib import Path
+
+from repro.analysis.checkers import lockorder
+from repro.analysis.loader import load_files
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def run(*names):
+    return lockorder.check(load_files([FIXTURES / name for name in names]))
+
+
+class TestBadFixture:
+    def test_exact_findings(self):
+        found = {(f.code, f.symbol) for f in run("lockorder_bad.py")}
+        assert found == {
+            # publish holds Directory._lock and calls into the budget;
+            # rebalance holds Budget._lock and calls back — a cycle
+            ("RL701", "Budget._lock -> Directory._lock -> Budget._lock"),
+            # blocking work under a held lock
+            ("RL702", "Directory.publish:segment.attach"),
+            ("RL702", "Directory.fault_one:self._budget.acquire"),
+            # gate check with an unguarded dependent call
+            ("RL703", "Router.dispatch:leaf.accepts_queries"),
+        }
+
+    def test_cycle_message_names_both_orders(self):
+        cycles = [f for f in run("lockorder_bad.py") if f.code == "RL701"]
+        assert len(cycles) == 1
+        assert "opposite orders" in cycles[0].message
+
+
+class TestGoodFixture:
+    def test_silent(self):
+        """One-way nesting, condition-wait on the held lock, slow work
+        hoisted out of the section, and both accepted check-then-act
+        forms (lock-held, StateError-caught) raise nothing."""
+        assert run("lockorder_good.py") == []
+
+
+class TestRealTree:
+    CONCURRENCY_FILES = (
+        "src/repro/core/lazyrestore.py",
+        "src/repro/core/parallel.py",
+        "src/repro/core/sharedbudget.py",
+        "src/repro/core/engine.py",
+        "src/repro/server/leaf.py",
+        "src/repro/server/aggregator.py",
+        "src/repro/util/memtrack.py",
+    )
+
+    def _check(self, repo_root, *relpaths):
+        return lockorder.check(
+            load_files([repo_root / rel for rel in relpaths], root=repo_root)
+        )
+
+    def test_lock_graph_is_acyclic(self, repo_root):
+        """LeafServer._lock -> LazyRestore._lock -> budget is the only
+        nesting direction; no RL701 anywhere in the concurrency layers."""
+        findings = self._check(repo_root, *self.CONCURRENCY_FILES)
+        assert [f for f in findings if f.code == "RL701"] == []
+
+    def test_only_the_two_designed_blocking_calls_remain(self, repo_root):
+        """The directory attach and the fault-in budget wait are the
+        paper's designed backpressure points (baselined); nothing else
+        blocks under a lock."""
+        findings = self._check(repo_root, *self.CONCURRENCY_FILES)
+        assert {f.symbol for f in findings if f.code == "RL702"} == {
+            "LazyRestore._publish_directory:ShmSegment.attach",
+            "LazyRestore._fault_block:self._budget.acquire",
+        }
+
+    def test_aggregator_handles_the_gate_race(self, repo_root):
+        """Regression: leaf.query() is wrapped in the StateError skip,
+        so the accepts_queries gate no longer check-then-acts."""
+        findings = self._check(repo_root, *self.CONCURRENCY_FILES)
+        assert [f for f in findings if f.code == "RL703"] == []
+
+    def test_colcache_is_clean(self, repo_root):
+        """colcache is outside the default scan dirs; decode happens
+        outside its lock by design — keep it that way."""
+        assert self._check(repo_root, "src/repro/columnstore/colcache.py") == []

@@ -41,6 +41,48 @@ class TestBaseline:
         with pytest.raises(ValueError, match="version"):
             Baseline.load(path)
 
+    def test_one_entry_matches_multiple_findings(self):
+        """Two findings sharing (code, path, symbol) — e.g. a checker
+        anchoring several lines to one construct — are both accepted by
+        a single entry, which is then not stale."""
+        entry = BaselineEntry("RL302", "src/x.py", "C.m:attr", "why")
+        match = Baseline([entry]).apply([finding(line=10), finding(line=20)])
+        assert match.new == []
+        assert [e for _, e in match.accepted] == [entry, entry]
+        assert match.stale == []
+
+    def test_stale_entry_fails_the_run(self, repo_root, tmp_path):
+        """A baseline entry matching nothing must fail, not rot."""
+        from repro.analysis.runner import DEFAULT_BASELINE
+
+        real = Baseline.load(repo_root / DEFAULT_BASELINE)
+        real.entries.append(
+            BaselineEntry("RL302", "src/gone.py", "G.m:attr", "obsolete")
+        )
+        target = tmp_path / "with_stale.json"
+        real.save(target)
+        result = run_lint(repo_root, baseline_path=target)
+        assert [e.symbol for e in result.match.stale] == ["G.m:attr"]
+        assert result.failed
+
+    def test_sort_findings_is_deterministic(self):
+        from repro.analysis.findings import sort_findings
+
+        findings = [
+            finding(path="src/b.py", line=5),
+            finding(path="src/a.py", line=9, code="RL702"),
+            finding(path="src/a.py", line=9, code="RL601"),
+            finding(path="src/a.py", line=2),
+        ]
+        ordered = sort_findings(findings)
+        assert [(f.path, f.line, f.code) for f in ordered] == [
+            ("src/a.py", 2, "RL302"),
+            ("src/a.py", 9, "RL601"),
+            ("src/a.py", 9, "RL702"),
+            ("src/b.py", 5, "RL302"),
+        ]
+        assert sort_findings(list(reversed(findings))) == ordered
+
 
 class TestRunLint:
     def test_repo_is_clean_against_checked_in_baseline(self, repo_root):
@@ -56,7 +98,7 @@ class TestRunLint:
         codes = {f.code for f in result.match.new}
         assert result.failed
         # the baselined families are exactly these
-        assert codes == {"RL201", "RL204", "RL302", "RL502", "RL503"}
+        assert codes == {"RL201", "RL204", "RL302", "RL502", "RL503", "RL602", "RL702"}
 
     def test_checker_filter_scopes_baseline_staleness(self, repo_root):
         """Running one checker must not report the others' baseline
@@ -83,7 +125,7 @@ class TestRendering:
         result = run_lint(repo_root)
         text = render_text(result)
         assert "0 new" in text
-        assert "5 checkers" in text
+        assert "7 checkers" in text
 
 
 class TestCli:
@@ -102,6 +144,8 @@ class TestCli:
             "guarded-by",
             "segment-lifecycle",
             "fallback-routing",
+            "resource-balance",
+            "lock-order",
         ]
 
     def test_lint_fails_without_baseline(self, repo_root, capsys):
@@ -125,5 +169,34 @@ class TestCli:
         )
         assert rc == 0
         written = Baseline.load(target)
-        assert len(written.entries) == 14
+        assert len(written.entries) == 18
         assert all(e.justification == "TODO: justify or fix" for e in written.entries)
+
+    def test_unknown_checker_exits_two(self, repo_root, capsys):
+        rc = cli_main(
+            ["lint", "--root", str(repo_root), "--checker", "spellcheck"]
+        )
+        assert rc == 2
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_todo_baseline_fails_until_justified(self, repo_root, tmp_path, capsys):
+        """A freshly generated baseline (all-TODO) must not pass CI
+        silently; --allow-todo downgrades it to warnings."""
+        target = tmp_path / "fresh.json"
+        cli_main(
+            ["lint", "--root", str(repo_root), "--baseline", str(target),
+             "--update-baseline"]
+        )
+        capsys.readouterr()
+        rc = cli_main(["lint", "--root", str(repo_root), "--baseline", str(target)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error: TODO-justified baseline entry" in out
+        rc = cli_main(
+            ["lint", "--root", str(repo_root), "--baseline", str(target),
+             "--allow-todo"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warning: TODO-justified baseline entry" in out
+        assert "error:" not in out

@@ -43,6 +43,8 @@ class TestSameProcessContract:
         budget.release(60)
         assert budget.in_flight == 30
         assert budget.peak_in_flight == 90
+        budget.release(30)
+        assert budget.in_flight == 0
 
     def test_blocks_until_release(self):
         budget = SharedFootprintBudget(100)
