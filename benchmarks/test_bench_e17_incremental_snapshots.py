@@ -1,0 +1,248 @@
+"""E17: incremental delta snapshots and parallel legacy replay.
+
+Two perf claims ride on the ISSUE-9 write path:
+
+1. **Sync write bytes drop >= 5x** on an append-mostly workload once
+   ``DiskBackup`` appends per-generation deltas instead of rewriting the
+   whole table at every sync point.  Bytes written are deterministic, so
+   the floor is asserted unconditionally.
+2. **Legacy replay >= 2x with 4 workers** when the row-replay rung fans
+   chunk decoding across a worker pool.  Wall-clock speedup needs real
+   cores — pure-Python decode holds the GIL — so the floor is gated on
+   ``os.cpu_count() >= 4`` (the E15 convention); measured numbers are
+   recorded either way, and the hardware model's claim is asserted
+   unconditionally.
+
+Digest identity across {full, incremental, compacted} snapshots x
+{chain, serial, parallel} recovery x {thread, process} backends is the
+correctness spine: every route must rebuild bit-identical rows.
+
+Set ``BENCH_E17_JSON=<path>`` to dump the measured numbers as JSON (CI
+uploads it as an artifact); each test refreshes the file with everything
+collected so far.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from itertools import islice
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.disk.backup import DiskBackup
+from repro.disk.recovery import recover_leafmap, recover_leafmap_snapshots
+from repro.disk.replay import replay_leafmap
+from repro.sim import paper_profile
+from repro.util.checksum import rows_digest
+from repro.util.clock import ManualClock
+from repro.workloads import service_requests
+
+BASE_ROWS = 8_000
+#: Seven append rounds keeps the default 8-link chain from compacting
+#: inside the measurement window, so the steady-state bytes compare pure
+#: delta appends against pure full rewrites.
+ROUNDS = 7
+ROWS_PER_ROUND = 500
+WORKERS = 4
+
+RESULTS: dict = {}
+
+
+def _dump_artifact() -> None:
+    artifact = os.environ.get("BENCH_E17_JSON")
+    if artifact:
+        payload = {
+            "experiment": "E17",
+            "cpu_count": os.cpu_count() or 1,
+            **RESULTS,
+        }
+        with open(artifact, "w") as fh:
+            json.dump(payload, fh, indent=2)
+
+
+def build_corpus(tmp_path, clock):
+    """One leafmap synced in lockstep to three backup flavours."""
+    backups = {
+        "full": DiskBackup(tmp_path / "full", incremental=False),
+        "incremental": DiskBackup(tmp_path / "incremental"),
+        "compacted": DiskBackup(tmp_path / "compacted", max_chain_links=2),
+    }
+    leafmap = LeafMap(clock=clock, rows_per_block=1024)
+    table = leafmap.get_or_create("service_requests")
+    rows = service_requests(BASE_ROWS + ROUNDS * ROWS_PER_ROUND)
+    table.add_rows(islice(rows, BASE_ROWS))
+    leafmap.seal_all()
+    for backup in backups.values():
+        backup.sync_leafmap(leafmap)
+    base_bytes = {
+        name: backup.stats.snapshot_bytes_written
+        for name, backup in backups.items()
+    }
+    for _ in range(ROUNDS):
+        table.add_rows(islice(rows, ROWS_PER_ROUND))
+        leafmap.seal_all()
+        for backup in backups.values():
+            backup.sync_leafmap(leafmap)
+    steady_bytes = {
+        name: backup.stats.snapshot_bytes_written - base_bytes[name]
+        for name, backup in backups.items()
+    }
+    return leafmap, backups, steady_bytes
+
+
+class TestE17IncrementalSnapshots:
+    def test_append_mostly_sync_writes_drop_5x(self, tmp_path, record_result):
+        clock = ManualClock(0.0)
+        _, backups, steady = build_corpus(tmp_path, clock)
+        reduction = steady["full"] / steady["incremental"]
+        amplification = backups["incremental"].stats.write_amplification
+        record_result(
+            "E17",
+            f"sync write bytes over {ROUNDS} append rounds",
+            ">= 5x fewer than full rewrite",
+            f"{steady['full']} B full vs {steady['incremental']} B "
+            f"incremental ({reduction:.1f}x)",
+        )
+        record_result(
+            "E17",
+            "incremental write amplification (bytes / live sealed bytes)",
+            "< 1.0 (full-rewrite floor)",
+            f"{amplification:.3f}",
+        )
+        assert reduction >= 5.0, (
+            f"incremental sync only cut write bytes {reduction:.1f}x "
+            f"({steady['incremental']} B vs {steady['full']} B full rewrite)"
+        )
+        assert amplification is not None and amplification < 1.0
+        # The tight 2-link chain must have folded at least once, and the
+        # default chain must not have — compaction cost stays out of the
+        # steady-state comparison above.
+        assert backups["compacted"].stats.compactions >= 1
+        assert backups["incremental"].stats.compactions == 0
+        assert backups["incremental"].stats.deltas_written == ROUNDS
+        RESULTS["sync_write_bytes"] = dict(steady)
+        RESULTS["write_reduction"] = reduction
+        RESULTS["write_amplification"] = amplification
+        RESULTS["compactions"] = {
+            name: b.stats.compactions for name, b in backups.items()
+        }
+        _dump_artifact()
+
+    def test_digests_identical_across_every_route(self, tmp_path, record_result):
+        """{full, incremental, compacted} x {chain, serial legacy,
+        parallel legacy} x {thread, process} all rebuild the same rows."""
+        clock = ManualClock(0.0)
+        leafmap, backups, _ = build_corpus(tmp_path, clock)
+        expected = rows_digest(leafmap.snapshot_rows())
+        routes = 0
+        for name, backup in backups.items():
+            chained = LeafMap(clock=clock, rows_per_block=1024)
+            recover_leafmap_snapshots(DiskBackup(backup.directory), chained)
+            assert rows_digest(chained.snapshot_rows()) == expected, (
+                f"{name}: chain recovery diverged"
+            )
+            serial = LeafMap(clock=clock, rows_per_block=1024)
+            recover_leafmap(backup, serial)
+            assert rows_digest(serial.snapshot_rows()) == expected, (
+                f"{name}: serial legacy replay diverged"
+            )
+            routes += 2
+            for backend in ("thread", "process"):
+                parallel = LeafMap(clock=clock, rows_per_block=1024)
+                replay_leafmap(
+                    backup, parallel, workers=WORKERS, backend=backend
+                )
+                assert rows_digest(parallel.snapshot_rows()) == expected, (
+                    f"{name}: parallel replay ({backend}) diverged"
+                )
+                routes += 1
+        record_result(
+            "E17",
+            "recovery digest identity",
+            "identical on every route",
+            f"{routes} routes x {BASE_ROWS + ROUNDS * ROWS_PER_ROUND} "
+            "rows, all identical",
+        )
+        RESULTS["digest_routes"] = routes
+        RESULTS["digests_identical"] = True
+        _dump_artifact()
+
+    def test_parallel_replay_speedup(self, tmp_path, record_result):
+        """Serial vs 4-worker process replay on a legacy-only backup."""
+        clock = ManualClock(0.0)
+        backup = DiskBackup(tmp_path / "legacy", snapshots=False)
+        leafmap = LeafMap(clock=clock, rows_per_block=256)
+        table = leafmap.get_or_create("service_requests")
+        rows = service_requests(BASE_ROWS + ROUNDS * ROWS_PER_ROUND)
+        for batch in (BASE_ROWS, *([ROWS_PER_ROUND] * ROUNDS)):
+            table.add_rows(islice(rows, batch))
+            leafmap.seal_all()
+            backup.sync_leafmap(leafmap)
+        expected = rows_digest(leafmap.snapshot_rows())
+
+        serial_map = LeafMap(clock=clock, rows_per_block=256)
+        started = time.perf_counter()
+        recover_leafmap(backup, serial_map)
+        serial_s = time.perf_counter() - started
+        assert rows_digest(serial_map.snapshot_rows()) == expected
+
+        parallel_map = LeafMap(clock=clock, rows_per_block=256)
+        started = time.perf_counter()
+        replay_leafmap(backup, parallel_map, workers=WORKERS, backend="process")
+        parallel_s = time.perf_counter() - started
+        assert rows_digest(parallel_map.snapshot_rows()) == expected
+
+        speedup = serial_s / parallel_s
+        record_result(
+            "E17",
+            f"legacy replay, {WORKERS} process workers vs serial",
+            ">= 2x on >= 4 cores",
+            f"{serial_s * 1000:.0f} ms vs {parallel_s * 1000:.0f} ms "
+            f"({speedup:.2f}x on {os.cpu_count() or 1} cores)",
+        )
+        RESULTS["replay_seconds"] = {"serial": serial_s, "parallel": parallel_s}
+        RESULTS["replay_speedup"] = speedup
+        _dump_artifact()
+        if (os.cpu_count() or 1) >= 4:
+            assert speedup >= 2.0, (
+                f"{WORKERS} process workers only {speedup:.2f}x the serial "
+                f"replay on a {os.cpu_count()}-core host"
+            )
+        else:
+            pytest.skip(
+                f"measured {speedup:.2f}x on a {os.cpu_count() or 1}-core "
+                "host (GIL/fork-bound); the >= 2x floor needs >= 4 cores"
+            )
+
+    def test_simulator_backs_both_floors(self, record_result):
+        """The hardware model's claims hold regardless of host cores:
+        the paper-profile chain cuts sync bytes ~5.7x and 4 process
+        workers land ~3.2x on the Amdahl replay model (threads stay at
+        1x — the decode loop holds the GIL)."""
+        profile = paper_profile()
+        reduction = profile.incremental_sync_reduction()
+        process = profile.parallel_replay_speedup(WORKERS, "process")
+        thread = profile.parallel_replay_speedup(WORKERS, "thread")
+        assert reduction >= 5.0
+        assert process >= 2.0
+        assert thread == pytest.approx(1.0)
+        # More workers than translate cores buys nothing extra.
+        assert profile.parallel_replay_speedup(8, "process") == (
+            pytest.approx(process)
+        )
+        record_result(
+            "E17",
+            "simulated sync-write reduction / replay speedup (4 workers)",
+            ">= 5x bytes, >= 2x replay",
+            f"{reduction:.1f}x bytes, {process:.2f}x process / "
+            f"{thread:.2f}x thread replay",
+        )
+        RESULTS["sim"] = {
+            "sync_write_reduction": reduction,
+            "replay_speedup_process": process,
+            "replay_speedup_thread": thread,
+        }
+        _dump_artifact()

@@ -82,6 +82,8 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
     from repro.workloads import service_requests
 
     namespace = f"reprocli-{uuid.uuid4().hex[:8]}"
+    if args.incremental:
+        return _bench_incremental(args)
     if args.serve_while_restoring:
         return _bench_serve_while_restoring(args, namespace)
     if args.workers is not None:
@@ -181,6 +183,164 @@ def _bench_disk_tier(args: argparse.Namespace, namespace: str) -> int:
             f"({legacy_sim / snap_sim:.1f}x)"
         )
     return 0
+
+
+def _bench_incremental(args: argparse.Namespace) -> int:
+    """``bench-restart --incremental``: experiment E17.
+
+    An append-mostly workload synced through three snapshot regimes —
+    full rewrite, incremental delta chain, and an aggressively-compacted
+    chain — measuring the sync write bytes each pays, then replaying the
+    legacy chunks serially and through the parallel replay pool.  Every
+    recovery route must produce the identical digest.
+    """
+    import json as json_module
+    import os
+    import tempfile
+    from itertools import islice
+
+    from repro.columnstore.leafmap import LeafMap
+    from repro.disk.backup import DiskBackup
+    from repro.disk.recovery import recover_leafmap, recover_leafmap_snapshots
+    from repro.disk.replay import replay_leafmap
+    from repro.util.checksum import rows_digest
+    from repro.workloads import service_requests
+
+    rounds = 8
+    base_rows = args.rows
+    per_round = max(256, args.rows // 16)
+    workers = max(1, args.workers) if args.workers is not None else 4
+    exit_code = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        backups = {
+            "full": DiskBackup(root / "full", incremental=False),
+            "incremental": DiskBackup(root / "incremental"),
+            "compacted": DiskBackup(root / "compacted", max_chain_links=2),
+        }
+        leafmap = LeafMap(rows_per_block=1024)
+        table = leafmap.get_or_create("service_requests")
+        gen = iter(service_requests(base_rows + rounds * per_round))
+
+        def sync_all():
+            leafmap.seal_all()
+            for backup in backups.values():
+                backup.sync_leafmap(leafmap)
+
+        table.add_rows(islice(gen, base_rows))
+        sync_all()
+        base_bytes = {
+            name: b.stats.snapshot_bytes_written for name, b in backups.items()
+        }
+        for _ in range(rounds):
+            # Append-mostly: each sync point seals only the new rows, so
+            # the delta chain writes a small fraction of the table while
+            # the full-rewrite regime pays the whole table every time.
+            table.add_rows(islice(gen, per_round))
+            sync_all()
+        data_bytes = table.sealed_nbytes
+        print(
+            f"{base_rows:,} base rows + {rounds} syncs x {per_round:,} rows, "
+            f"{data_bytes / 1e6:.2f} MB compressed live"
+        )
+
+        steady = {
+            name: b.stats.snapshot_bytes_written - base_bytes[name]
+            for name, b in backups.items()
+        }
+        reduction = steady["full"] / max(steady["incremental"], 1)
+        for name, backup in backups.items():
+            stats = backup.stats
+            print(
+                f"[{name}] sync writes after base: {steady[name] / 1e6:.2f} MB "
+                f"(amplification {stats.write_amplification:.3f}, "
+                f"{stats.deltas_written} deltas, {stats.compactions} compactions)"
+            )
+        print(f"incremental wrote {reduction:.1f}x fewer sync bytes than full rewrite")
+
+        source_digest = rows_digest(leafmap.snapshot_rows())
+        digests_identical = True
+        replay_seconds: dict[str, float] = {}
+        for name, backup in backups.items():
+            chained = LeafMap(rows_per_block=1024)
+            recover_leafmap_snapshots(backup, chained)
+            ok = rows_digest(chained.snapshot_rows()) == source_digest
+            started = time.perf_counter()
+            serial = LeafMap(rows_per_block=1024)
+            recover_leafmap(backup, serial)
+            serial_s = time.perf_counter() - started
+            ok = ok and rows_digest(serial.snapshot_rows()) == source_digest
+            for backend in ("thread", "process"):
+                started = time.perf_counter()
+                parallel = LeafMap(rows_per_block=1024)
+                replay_leafmap(backup, parallel, workers=workers, backend=backend)
+                replay_seconds[backend] = time.perf_counter() - started
+                ok = ok and rows_digest(parallel.snapshot_rows()) == source_digest
+            digests_identical = digests_identical and ok
+            if name == "incremental":
+                replay_seconds["serial"] = serial_s
+            print(
+                f"[{name}] digests {'identical' if ok else 'DIVERGED'} across "
+                f"chain / serial / parallel x thread / parallel x process"
+            )
+        if not digests_identical:
+            exit_code = 1
+        for backend in ("thread", "process"):
+            speedup = replay_seconds["serial"] / max(replay_seconds[backend], 1e-9)
+            print(
+                f"legacy replay, {workers} workers, {backend} backend: "
+                f"{replay_seconds[backend] * 1000:.1f} ms "
+                f"({speedup:.2f}x vs serial {replay_seconds['serial'] * 1000:.1f} ms)"
+            )
+
+        profile = paper_profile()
+        print(
+            f"simulator, paper-scale leaf: incremental sync writes "
+            f"{profile.incremental_sync_reduction():.1f}x fewer bytes; "
+            f"{workers}-worker process replay "
+            f"{_fmt_duration(profile.translate_seconds(profile.data_bytes_per_leaf) / profile.parallel_replay_speedup(workers, 'process'))} "
+            f"vs serial "
+            f"{_fmt_duration(profile.translate_seconds(profile.data_bytes_per_leaf))} "
+            f"({profile.parallel_replay_speedup(workers, 'process'):.1f}x)"
+        )
+        if args.json:
+            inc_stats = backups["incremental"].stats
+            payload = {
+                "experiment": "E17",
+                "rows": base_rows + rounds * per_round,
+                "rounds": rounds,
+                "compressed_bytes": data_bytes,
+                "cpu_count": os.cpu_count() or 1,
+                "workers": workers,
+                "sync_write_bytes": steady,
+                "write_reduction": reduction,
+                "write_amplification": inc_stats.write_amplification,
+                "compactions": {
+                    name: b.stats.compactions for name, b in backups.items()
+                },
+                "deltas_written": inc_stats.deltas_written,
+                "skipped_unchanged": inc_stats.skipped_unchanged,
+                "replay_seconds": replay_seconds,
+                "replay_speedup": {
+                    backend: replay_seconds["serial"]
+                    / max(replay_seconds[backend], 1e-9)
+                    for backend in ("thread", "process")
+                },
+                "digests_identical": digests_identical,
+                "sim": {
+                    "sync_write_reduction": profile.incremental_sync_reduction(),
+                    "replay_speedup_process": profile.parallel_replay_speedup(
+                        workers, "process"
+                    ),
+                    "replay_speedup_thread": profile.parallel_replay_speedup(
+                        workers, "thread"
+                    ),
+                },
+            }
+            with open(args.json, "w") as fh:
+                json_module.dump(payload, fh, indent=2)
+            print(f"wrote {args.json}")
+    return exit_code
 
 
 def _bench_serve_while_restoring(args: argparse.Namespace, namespace: str) -> int:
@@ -663,6 +823,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--disk-tier", action="store_true",
                    help="compare legacy row-format replay against the "
                    "shm-format snapshot tier (E12), incl. torn-file fallback")
+    p.add_argument("--incremental", action="store_true",
+                   help="experiment E17: incremental delta-chain sync "
+                   "write bytes vs full rewrite, plus serial vs parallel "
+                   "legacy replay (--workers, default 4; --json writes "
+                   "the BENCH_e17.json artifact)")
     p.set_defaults(func=cmd_bench_restart)
 
     p = sub.add_parser(

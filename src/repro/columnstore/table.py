@@ -144,6 +144,16 @@ class Table:
         return list(self._blocks)
 
     @property
+    def rows_per_block(self) -> int:
+        """The row-count seal threshold (parallel replay must match it)."""
+        return self._rows_per_block
+
+    @property
+    def max_block_bytes(self) -> int:
+        """The pre-compression byte seal threshold."""
+        return self._max_block_bytes
+
+    @property
     def block_count(self) -> int:
         return len(self._blocks)
 

@@ -69,6 +69,7 @@ from repro.core.states import (
 from repro.core.watchdog import CooperativeDeadline
 from repro.disk.backup import DiskBackup
 from repro.disk.recovery import iter_snapshot_tables, recover_leafmap
+from repro.disk.replay import replay_leafmap
 from repro.errors import (
     CorruptionError,
     LayoutVersionError,
@@ -184,6 +185,11 @@ class RestartEngine:
         Whether disk recovery may take the shm-format snapshot fast path
         when every table's snapshot is trusted.  Disable to force legacy
         row-format replay (benchmark baselines, paranoia mode).
+    replay_workers / replay_backend:
+        How the legacy rung runs when it is reached: more than one
+        worker fans the row-sealing work across a pool
+        (:func:`~repro.disk.replay.replay_leafmap`, thread or process
+        backend) with digests identical to the single-stream replay.
     """
 
     def __init__(
@@ -198,12 +204,18 @@ class RestartEngine:
         fault_hook: Callable[[str], None] | None = None,
         budget: FootprintBudget | None = None,
         disk_snapshot_tier: bool = True,
+        replay_workers: int = 1,
+        replay_backend: str = "thread",
     ) -> None:
+        if replay_workers < 1:
+            raise ValueError("replay_workers must be positive")
         self.leaf_id = str(leaf_id)
         self.namespace = namespace
         self.backup = backup
         self.layout_version = layout_version
         self.disk_snapshot_tier = disk_snapshot_tier
+        self.replay_workers = replay_workers
+        self.replay_backend = replay_backend
         self.tracker = tracker or MemoryTracker()
         self.clock = clock or SystemClock()
         self.budget = budget
@@ -740,7 +752,17 @@ class RestartEngine:
                 report.rows = 0
                 report.fell_back_to_legacy = True
         leaf.transition(LeafRestoreState.DISK_RECOVERY)
-        report.rows = recover_leafmap(self.backup, leafmap)
+        if self.replay_workers > 1:
+            report.rows = replay_leafmap(
+                self.backup,
+                leafmap,
+                workers=self.replay_workers,
+                backend=self.replay_backend,
+                budget=self.budget,
+                clock=self.clock,
+            )
+        else:
+            report.rows = recover_leafmap(self.backup, leafmap)
         report.tables = len(leafmap)
         report.row_blocks = sum(table.block_count for table in leafmap)
         for table in leafmap:

@@ -21,27 +21,83 @@ cutoff, mirroring how Scuba re-applies deletions after recovery
 
 The snapshot side implements the paper's Section 6 plan: at a sync point
 whose table has no buffered rows, the table's sealed blocks are also
-written as one shm-format file, stamped with the sync *generation*.  A
+written in the shm format, stamped with the sync *generation*.  A
 snapshot is trusted for recovery only when its generation equals the
 manifest's sync generation — any later sync (or a torn snapshot write,
 which leaves the previous generation on disk) makes it stale, and the
 recovery ladder routes that table down to legacy replay.
+
+Snapshots are *incremental*: instead of rewriting the whole table at
+every generation, a sync point appends a **delta** file carrying only
+the blocks sealed since the previous generation, plus a manifest *chain
+link* recording which earlier chain blocks expired.  The manifest chain
+(base + ordered deltas, each keyed to the generation it was taken at) is
+what recovery materializes; each block ever written into the chain gets
+a per-table monotone sequence number so deltas can name expired blocks
+durably.  When the chain grows past ``max_chain_links`` or expiry churn
+crosses ``compact_churn``, the next snapshot *compacts*: it folds the
+chain back into a single fresh base and deletes the obsolete delta
+files.  A sync point whose generation already matches the chain tip
+writes nothing at all.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.rowblock import RowBlock
 from repro.columnstore.table import Table
 from repro.disk.format import write_chunk, write_file_header
-from repro.disk.shmformat import snapshot_filename, write_table_shm_format
+from repro.disk.shmformat import (
+    SNAPSHOT_FLAG_DELTA,
+    delta_filename,
+    fsync_directory,
+    snapshot_filename,
+    write_table_shm_format,
+)
 from repro.errors import RecoveryError
 
 _MANIFEST = "manifest.json"
 _SNAPSHOT_DIR = "snapshots"
+
+#: Chain-growth bound: a snapshot chain longer than this is folded back
+#: into a single base at the next snapshot point (recovery cost stays
+#: O(links) file opens, so the bound caps the worst-case restart read).
+DEFAULT_MAX_CHAIN_LINKS = 8
+#: Churn bound: once this fraction of all blocks ever appended to the
+#: chain has expired out of it, the dead bytes on disk outweigh the
+#: append savings and the next snapshot compacts.
+DEFAULT_COMPACT_CHURN = 0.5
+
+
+@dataclass
+class SnapshotStats:
+    """Cumulative write-path accounting for one backup's snapshot side.
+
+    ``write_amplification`` is (bytes written per sync ÷ live sealed
+    bytes), summed over every snapshot point — 1.0 is the full-rewrite
+    floor, an append-mostly workload under incremental snapshots sits
+    far below it.
+    """
+
+    snapshot_points: int = 0
+    bases_written: int = 0
+    deltas_written: int = 0
+    manifest_only_links: int = 0
+    skipped_unchanged: int = 0
+    compactions: int = 0
+    snapshot_bytes_written: int = 0
+    live_bytes_at_sync: int = 0
+
+    @property
+    def write_amplification(self) -> float | None:
+        if self.live_bytes_at_sync == 0:
+            return None
+        return self.snapshot_bytes_written / self.live_bytes_at_sync
 
 
 def _table_filename(name: str) -> str:
@@ -53,14 +109,37 @@ def _table_filename(name: str) -> str:
 
 
 class DiskBackup:
-    """Manages the legacy-format backup (and shm-format snapshots) of one
-    leaf's tables."""
+    """Manages the legacy-format backup (and shm-format snapshot chains)
+    of one leaf's tables.
 
-    def __init__(self, directory: str | Path, snapshots: bool = True) -> None:
+    ``incremental=False`` forces the pre-chain behavior — every snapshot
+    point rewrites the table as a single base — which is the benchmark
+    baseline (E17) and an escape hatch, not a recommended mode.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        snapshots: bool = True,
+        incremental: bool = True,
+        max_chain_links: int = DEFAULT_MAX_CHAIN_LINKS,
+        compact_churn: float = DEFAULT_COMPACT_CHURN,
+    ) -> None:
+        if max_chain_links < 1:
+            raise ValueError("max_chain_links must be positive")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.snapshots_enabled = snapshots
-        self._manifest: dict[str, dict[str, int]] = {}
+        self.incremental = incremental
+        self.max_chain_links = max_chain_links
+        self.compact_churn = compact_churn
+        self.stats = SnapshotStats()
+        self._manifest: dict[str, dict] = {}
+        #: Per-table map of live block uid -> chain sequence number, for
+        #: blocks this process knows to be in the persisted chain.  Block
+        #: uids are process-unique, so the map cannot survive a restart:
+        #: a fresh manager writes one full base, then extends it.
+        self._chain_uids: dict[str, dict[int, int]] = {}
         self._load_manifest()
 
     # ------------------------------------------------------------------
@@ -93,18 +172,26 @@ class DiskBackup:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self._manifest_path())
+        # And the rename itself must be durable: without the directory
+        # fsync a crash can roll back to the previous manifest while the
+        # files it described are gone (or vice versa).
+        fsync_directory(self.directory)
 
     def reload(self) -> None:
         """Reread the manifest from disk, dropping in-memory state.
 
         Needed when another process advanced this leaf's backup — e.g. a
         forked restart worker whose shutdown synced tables and bumped
-        generations that this process's cached manifest predates.
+        generations that this process's cached manifest predates.  The
+        uid->sequence chain map is dropped too: it described blocks of
+        this process's tables against a chain another process has since
+        rewritten, so the next snapshot starts over with a fresh base.
         """
         self._manifest = {}
+        self._chain_uids = {}
         self._load_manifest()
 
-    def _entry(self, table_name: str) -> dict[str, int]:
+    def _entry(self, table_name: str) -> dict:
         return self._manifest.setdefault(
             table_name,
             {"synced_rows": 0, "expire_before": 0, "sync_gen": 0, "snapshot_gen": 0},
@@ -138,14 +225,53 @@ class DiskBackup:
         """The sync generation the table's snapshot was taken at (0 = none)."""
         return self._manifest.get(table_name, {}).get("snapshot_gen", 0)
 
+    def snapshot_chain(self, table_name: str) -> list[dict]:
+        """The table's snapshot chain links (base first), possibly empty.
+
+        Manifests written before chains existed carry a bare
+        ``snapshot_gen``; those synthesize a single-link chain over the
+        legacy base file, with per-link metadata left ``None`` so the
+        chain reader falls back to the file envelope's own values.
+        """
+        entry = self._manifest.get(table_name)
+        if entry is None:
+            return []
+        chain = entry.get("chain")
+        if chain is not None:
+            return chain
+        gen = entry.get("snapshot_gen", 0)
+        if gen <= 0:
+            return []
+        return [
+            {
+                "gen": gen,
+                "file": snapshot_filename(table_name),
+                "kind": "base",
+                "start_seq": 0,
+                "blocks": None,
+                "dropped": [],
+                "rows_ingested": None,
+                "rows_expired": None,
+            }
+        ]
+
+    def chain_files(self, table_name: str) -> list[Path]:
+        """Paths of every file the table's chain references, base first."""
+        return [
+            self.snapshot_dir / link["file"]
+            for link in self.snapshot_chain(table_name)
+            if link.get("file") is not None
+        ]
+
     def snapshot_valid(self, table_name: str) -> bool:
-        """Whether the table's snapshot may be trusted for recovery."""
+        """Whether the table's snapshot chain may be trusted for recovery."""
         gen = self.snapshot_generation(table_name)
-        return (
-            gen > 0
-            and gen == self.sync_generation(table_name)
-            and self.snapshot_path(table_name).exists()
-        )
+        if gen <= 0 or gen != self.sync_generation(table_name):
+            return False
+        chain = self.snapshot_chain(table_name)
+        if not chain or chain[-1].get("gen") != gen:
+            return False
+        return all(path.exists() for path in self.chain_files(table_name))
 
     def snapshots_ready(self) -> bool:
         """Whether the snapshot recovery tier covers *every* backed-up table."""
@@ -201,25 +327,41 @@ class DiskBackup:
             entry["synced_rows"] = total
             entry["sync_gen"] = entry.get("sync_gen", 0) + 1
             changed = True
-        if (
-            snapshot
-            and table.buffered_row_count == 0
-            and not self.snapshot_valid(table.name)
-        ):
-            self._write_snapshot(table, entry)
-            changed = True
+        stale: list[Path] = []
+        if snapshot and table.buffered_row_count == 0:
+            if self.snapshot_valid(table.name):
+                # The chain tip already carries this sync generation:
+                # nothing changed, so a no-op sync point writes nothing.
+                self.stats.skipped_unchanged += 1
+            else:
+                stale = self._write_snapshot(table, entry)
+                changed = True
         if changed:
             self._save_manifest()
+        # Obsolete chain files go only after the manifest stopped
+        # referencing them; a crash in between leaves unreferenced files
+        # (harmless), never a manifest that trusts a deleted one.
+        for path in stale:
+            path.unlink(missing_ok=True)
         return written
 
-    def _write_snapshot(self, table: Table, entry: dict[str, int]) -> Path:
-        """Write the table's shm-format snapshot at the current generation.
+    # ------------------------------------------------------------------
+    # Snapshot chain writes
+    # ------------------------------------------------------------------
 
-        The snapshot file lands (atomically, fsynced) *before* the
-        manifest records its generation: a crash between the two leaves a
-        file whose generation the manifest does not vouch for, which the
-        validity check routes down — never a trusted-but-wrong snapshot.
-        The caller saves the manifest.
+    def _write_snapshot(self, table: Table, entry: dict) -> list[Path]:
+        """Advance the table's snapshot chain to the current generation.
+
+        Appends a delta link when the chain can be extended (this
+        process wrote the chain tip and the surviving blocks kept their
+        order), otherwise — fresh manager, reordered blocks, chain too
+        long, or churn past the compaction threshold — folds everything
+        into a new base.  Files land (atomically, fsynced) *before* the
+        manifest records their generation: a crash between the two
+        leaves files whose generation the manifest does not vouch for,
+        which the validity check routes down — never a trusted-but-wrong
+        chain.  The caller saves the manifest and then unlinks the
+        returned obsolete chain files.
         """
         gen = entry.get("sync_gen", 0)
         if gen == 0:
@@ -227,23 +369,157 @@ class DiskBackup:
             # chunk-worthy rows (empty table); give it a real generation.
             gen = 1
             entry["sync_gen"] = gen
+        name = table.name
+        blocks = table.blocks
+        rows_ingested = table.total_rows_ingested - table.buffered_row_count
+        rows_expired = table.total_rows_expired
+        self.stats.snapshot_points += 1
+        self.stats.live_bytes_at_sync += table.sealed_nbytes
+        chain = entry.get("chain")
+        known = self._chain_uids.get(name)
+        appended: list[RowBlock] | None = None
+        dropped: list[int] = []
+        if (
+            self.incremental
+            and chain
+            and known is not None
+            and entry.get("snapshot_gen", 0) == chain[-1].get("gen")
+        ):
+            appended, dropped = self._chain_delta(blocks, known)
+        if appended is not None and self._should_compact(
+            entry, chain or [], appended, dropped
+        ):
+            self.stats.compactions += 1
+            appended = None
+        if appended is None:
+            return self._write_base(
+                name, entry, blocks, gen, rows_ingested, rows_expired
+            )
+        link = {
+            "gen": gen,
+            "file": None,
+            "kind": "delta",
+            "start_seq": entry.get("next_seq", 0),
+            "blocks": len(appended),
+            "dropped": dropped,
+            "rows_ingested": rows_ingested,
+            "rows_expired": rows_expired,
+        }
+        if appended:
+            path = write_table_shm_format(
+                self.snapshot_dir,
+                name,
+                appended,
+                generation=gen,
+                rows_ingested=rows_ingested,
+                rows_expired=rows_expired,
+                flags=SNAPSHOT_FLAG_DELTA,
+                filename=delta_filename(name, gen),
+            )
+            link["file"] = path.name
+            self.stats.deltas_written += 1
+            self.stats.snapshot_bytes_written += path.stat().st_size
+        else:
+            # Pure-expiry generation: the drop list alone describes it.
+            self.stats.manifest_only_links += 1
+        assert known is not None
+        for seq, block in enumerate(appended, start=link["start_seq"]):
+            known[block.uid] = seq
+        current = {block.uid for block in blocks}
+        for uid in [uid for uid in known if uid not in current]:
+            del known[uid]
+        entry["next_seq"] = link["start_seq"] + len(appended)
+        entry.setdefault("chain", []).append(link)
+        entry["snapshot_gen"] = gen
+        return []
+
+    def _chain_delta(
+        self, blocks: list[RowBlock], known: dict[int, int]
+    ) -> tuple[list[RowBlock] | None, list[int]]:
+        """Diff the table's blocks against the chain: (appended, dropped).
+
+        Returns ``(None, [])`` when the chain cannot represent the
+        table's current state as an append + drop — survivors reordered,
+        or new blocks interleaved before surviving ones — in which case
+        the caller rewrites a base.  (Tables only ever append sealed
+        blocks and drop expired ones, so this is a defensive escape
+        hatch, not an expected path.)
+        """
+        current = {block.uid for block in blocks}
+        appended = [block for block in blocks if block.uid not in known]
+        survivor_seqs = [known[b.uid] for b in blocks if b.uid in known]
+        if survivor_seqs != sorted(survivor_seqs):
+            return None, []
+        tail = blocks[len(blocks) - len(appended) :] if appended else []
+        if [b.uid for b in tail] != [b.uid for b in appended]:
+            return None, []
+        dropped = sorted(seq for uid, seq in known.items() if uid not in current)
+        return appended, dropped
+
+    def _should_compact(
+        self,
+        entry: dict,
+        chain: list[dict],
+        appended: list[RowBlock],
+        dropped: list[int],
+    ) -> bool:
+        """Whether the next link should instead fold the chain."""
+        if len(chain) + 1 > self.max_chain_links:
+            return True
+        total_seqs = entry.get("next_seq", 0) + len(appended)
+        dropped_total = len(dropped) + sum(
+            len(link.get("dropped", ())) for link in chain
+        )
+        return total_seqs > 0 and dropped_total / total_seqs > self.compact_churn
+
+    def _write_base(
+        self,
+        name: str,
+        entry: dict,
+        blocks: list[RowBlock],
+        gen: int,
+        rows_ingested: int,
+        rows_expired: int,
+    ) -> list[Path]:
+        """Write a fresh single-link base chain; returns obsolete files."""
+        old_files = self.chain_files(name)
         path = write_table_shm_format(
             self.snapshot_dir,
-            table.name,
-            table.blocks,
+            name,
+            blocks,
             generation=gen,
-            rows_ingested=table.total_rows_ingested - table.buffered_row_count,
-            rows_expired=table.total_rows_expired,
+            rows_ingested=rows_ingested,
+            rows_expired=rows_expired,
         )
+        self.stats.bases_written += 1
+        self.stats.snapshot_bytes_written += path.stat().st_size
+        entry["chain"] = [
+            {
+                "gen": gen,
+                "file": path.name,
+                "kind": "base",
+                "start_seq": 0,
+                "blocks": len(blocks),
+                "dropped": [],
+                "rows_ingested": rows_ingested,
+                "rows_expired": rows_expired,
+            }
+        ]
+        entry["next_seq"] = len(blocks)
         entry["snapshot_gen"] = gen
-        return path
+        self._chain_uids[name] = {
+            block.uid: seq for seq, block in enumerate(blocks)
+        }
+        return [old for old in old_files if old != path]
 
     def write_snapshot(self, table: Table) -> Path:
         """Force-refresh one table's snapshot (tests / manual tooling)."""
         entry = self._entry(table.name)
-        path = self._write_snapshot(table, entry)
+        stale = self._write_snapshot(table, entry)
         self._save_manifest()
-        return path
+        for old in stale:
+            old.unlink(missing_ok=True)
+        return self.snapshot_path(table.name)
 
     def sync_leafmap(self, leafmap: LeafMap) -> int:
         """Sync every table; returns total rows written."""
@@ -265,14 +541,16 @@ class DiskBackup:
     # ------------------------------------------------------------------
 
     def drop_table(self, table_name: str) -> None:
+        chain = self.chain_files(table_name)
         snapshot = self.snapshot_path(table_name)
         self._manifest.pop(table_name, None)
+        self._chain_uids.pop(table_name, None)
         self._save_manifest()
         path = self.table_file(table_name)
         if path.exists():
             path.unlink()
-        if snapshot.exists():
-            snapshot.unlink()
+        for old in {snapshot, *chain}:
+            old.unlink(missing_ok=True)
 
     def wipe(self) -> None:
         """Delete every backup file and the manifest (tests/teardown)."""

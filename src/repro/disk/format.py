@@ -126,11 +126,15 @@ def write_chunk(fh: BinaryIO, rows: Iterable[Mapping[str, ColumnValue]]) -> int:
     return count
 
 
-def read_table_chunks(fh: BinaryIO) -> Iterator[list[dict[str, ColumnValue]]]:
-    """Yield each intact chunk's rows; stop silently at a torn tail.
+def read_chunk_payloads(fh: BinaryIO) -> Iterator[tuple[int, bytes]]:
+    """Yield each intact chunk as ``(row_count, payload)``, rows undecoded.
 
-    A corrupted chunk in the *middle* of the file (followed by more data)
-    is a real corruption and raises; only the final chunk may be torn.
+    The validity rules are the file's, independent of decoding: CRC
+    verified, silent stop at a torn tail, raise on mid-file corruption.
+    Parallel replay partitions on these raw payloads — row counts come
+    from the chunk headers without paying the row decode — and the
+    serial reader below decodes the same stream, so both see an
+    identical chunk set.
     """
     read_file_header(fh)
     while True:
@@ -153,8 +157,23 @@ def read_table_chunks(fh: BinaryIO) -> Iterator[list[dict[str, ColumnValue]]]:
             if fh.read(1):
                 raise CorruptionError("chunk checksum mismatch mid-file")
             return  # torn final chunk
-        reader = BufferReader(payload)
-        rows = [_decode_row(reader) for _ in range(n_rows)]
-        if reader.remaining:
-            raise CorruptionError("trailing bytes inside a chunk payload")
-        yield rows
+        yield n_rows, payload
+
+
+def decode_chunk_rows(payload: bytes, n_rows: int) -> list[dict[str, ColumnValue]]:
+    """Decode one intact chunk payload into its rows."""
+    reader = BufferReader(payload)
+    rows = [_decode_row(reader) for _ in range(n_rows)]
+    if reader.remaining:
+        raise CorruptionError("trailing bytes inside a chunk payload")
+    return rows
+
+
+def read_table_chunks(fh: BinaryIO) -> Iterator[list[dict[str, ColumnValue]]]:
+    """Yield each intact chunk's rows; stop silently at a torn tail.
+
+    A corrupted chunk in the *middle* of the file (followed by more data)
+    is a real corruption and raises; only the final chunk may be torn.
+    """
+    for n_rows, payload in read_chunk_payloads(fh):
+        yield decode_chunk_rows(payload, n_rows)

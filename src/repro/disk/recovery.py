@@ -35,41 +35,138 @@ def recover_table_rows(
                     yield row
 
 
-def iter_snapshot_tables(backup: DiskBackup) -> Iterator[tuple[str, ShmSnapshot]]:
-    """Yield ``(table_name, snapshot)`` for every backed-up table, or raise.
+def materialize_chain(backup: DiskBackup, table_name: str) -> ShmSnapshot:
+    """Fold a table's snapshot chain (base + deltas) into one snapshot.
 
-    This is the snapshot tier's validity gate: each table's snapshot must
-    exist, carry the generation the manifest vouches for, and decode
-    cleanly (CRC, layout version, name match).  Any failure raises —
-    :class:`SnapshotStaleError` for generation/missing-file problems,
-    :class:`CorruptionError`/:class:`LayoutVersionError` for torn or
-    incompatible files — and the caller routes the whole leaf down to
-    legacy replay.  Partial trust is deliberately impossible: mixing
-    tiers within one leaf would make the recovered-state provenance
-    unauditable.
+    Every link is validated before its blocks are trusted: the chain must
+    open with a base and continue with strictly newer delta generations,
+    the tip must carry the manifest's current sync generation, each
+    referenced file must exist, decode cleanly, agree with its link on
+    generation / kind / block count / table name, and every dropped
+    sequence number must name a block the chain actually holds.  Any
+    failure raises — :class:`SnapshotStaleError` for generation or
+    missing-file problems, :class:`CorruptionError` /
+    :class:`LayoutVersionError` for torn, inconsistent, or incompatible
+    content — and the caller routes the whole leaf down to legacy
+    replay.
     """
-    for table_name in backup.table_names:
-        expected = backup.snapshot_generation(table_name)
-        if expected <= 0 or expected != backup.sync_generation(table_name):
-            raise SnapshotStaleError(
-                f"table '{table_name}': snapshot generation {expected} does not "
-                f"match sync generation {backup.sync_generation(table_name)}"
+    expected = backup.snapshot_generation(table_name)
+    if expected <= 0 or expected != backup.sync_generation(table_name):
+        raise SnapshotStaleError(
+            f"table '{table_name}': snapshot generation {expected} does not "
+            f"match sync generation {backup.sync_generation(table_name)}"
+        )
+    chain = backup.snapshot_chain(table_name)
+    if not chain:
+        raise SnapshotStaleError(f"table '{table_name}': no snapshot chain")
+    if chain[-1].get("gen") != expected:
+        raise SnapshotStaleError(
+            f"table '{table_name}': chain tip generation "
+            f"{chain[-1].get('gen')}; manifest expects {expected}"
+        )
+    live: dict[int, "object"] = {}
+    prev_gen = 0
+    tip: ShmSnapshot | None = None
+    for index, link in enumerate(chain):
+        kind = link.get("kind")
+        if (index == 0) != (kind == "base"):
+            raise CorruptionError(
+                f"table '{table_name}': chain link {index} has kind "
+                f"'{kind}' out of position"
             )
-        path = backup.snapshot_path(table_name)
+        gen = link.get("gen")
+        if not isinstance(gen, int) or gen <= prev_gen:
+            raise CorruptionError(
+                f"table '{table_name}': chain generations not strictly "
+                f"increasing at link {index}"
+            )
+        prev_gen = gen
+        for seq in link.get("dropped", ()):
+            if seq not in live:
+                raise CorruptionError(
+                    f"table '{table_name}': chain link {index} drops "
+                    f"unknown block sequence {seq}"
+                )
+            del live[seq]
+        filename = link.get("file")
+        if filename is None:
+            if kind == "base" or link.get("blocks"):
+                raise CorruptionError(
+                    f"table '{table_name}': chain link {index} declares "
+                    "blocks but references no file"
+                )
+            continue
+        path = backup.snapshot_dir / filename
         if not path.exists():
-            raise SnapshotStaleError(f"table '{table_name}': snapshot file missing")
-        snap = read_table_snapshot(path)
-        if snap.generation != expected:
             raise SnapshotStaleError(
-                f"table '{table_name}': snapshot file carries generation "
-                f"{snap.generation}; manifest expects {expected}"
+                f"table '{table_name}': chain file '{filename}' missing"
+            )
+        snap = read_table_snapshot(path)
+        if snap.generation != gen:
+            raise SnapshotStaleError(
+                f"table '{table_name}': chain file '{filename}' carries "
+                f"generation {snap.generation}; chain link says {gen}"
             )
         if snap.table_name != table_name:
             raise CorruptionError(
                 f"snapshot file for '{table_name}' decodes as table "
                 f"'{snap.table_name}'"
             )
-        yield table_name, snap
+        if snap.is_delta != (kind == "delta"):
+            raise CorruptionError(
+                f"table '{table_name}': chain file '{filename}' is "
+                f"{'a delta' if snap.is_delta else 'a base'} but its link "
+                f"says kind '{kind}'"
+            )
+        declared = link.get("blocks")
+        if declared is not None and declared != len(snap.blocks):
+            raise CorruptionError(
+                f"table '{table_name}': chain file '{filename}' holds "
+                f"{len(snap.blocks)} blocks; chain link says {declared}"
+            )
+        start = link.get("start_seq", 0)
+        for offset, block in enumerate(snap.blocks):
+            seq = start + offset
+            if seq in live:
+                raise CorruptionError(
+                    f"table '{table_name}': chain reuses block sequence {seq}"
+                )
+            live[seq] = block
+        tip = snap
+    last = chain[-1]
+    rows_ingested = last.get("rows_ingested")
+    rows_expired = last.get("rows_expired")
+    if rows_ingested is None or rows_expired is None:
+        # Legacy single-link chains synthesized from a bare
+        # ``snapshot_gen`` leave the watermarks to the file envelope.
+        if tip is None:
+            raise CorruptionError(
+                f"table '{table_name}': chain carries no watermarks"
+            )
+        rows_ingested = tip.rows_ingested
+        rows_expired = tip.rows_expired
+    return ShmSnapshot(
+        table_name=table_name,
+        blocks=[live[seq] for seq in sorted(live)],
+        generation=expected,
+        rows_ingested=rows_ingested,
+        rows_expired=rows_expired,
+    )
+
+
+def iter_snapshot_tables(backup: DiskBackup) -> Iterator[tuple[str, ShmSnapshot]]:
+    """Yield ``(table_name, snapshot)`` for every backed-up table, or raise.
+
+    This is the snapshot tier's validity gate: each table's chain —
+    a single base for pre-incremental backups, base plus deltas
+    otherwise — is materialized by :func:`materialize_chain`, which
+    validates every link before its blocks are trusted.  Any failure
+    raises and the caller routes the whole leaf down to legacy replay.
+    Partial trust is deliberately impossible: mixing tiers within one
+    leaf would make the recovered-state provenance unauditable.
+    """
+    for table_name in backup.table_names:
+        yield table_name, materialize_chain(backup, table_name)
 
 
 def recover_leafmap_snapshots(

@@ -1,0 +1,399 @@
+"""Parallel legacy replay: the worst recovery rung, fanned across workers.
+
+Single-stream legacy replay (``recover_leafmap``) pays its time in two
+row-at-a-time loops: decoding the disk chunks and sealing the decoded
+rows into compressed blocks (``RowBlock.from_rows``).  Both are
+CPU-bound pure-Python work, so this module fans *both* across a worker
+pool: the parent scans each table file once for raw chunk payloads
+(header row counts, no row decode), partitions the global row stream at
+exact seal boundaries into chunk-aligned spans, and each worker decodes
+its span's chunks, seals its groups, and returns finished blocks.  The
+parent merges partitions back in seal order, so the result is
+bit-identical to single-stream replay: the same rows grouped at the
+same boundaries into blocks in the same order, and recovery digests
+match on both the thread and the process backend.
+
+The partitioner can place boundaries without decoding rows only while
+the row-count threshold is the binding seal constraint — the normal
+case; the pre-compression byte cap is 1 GB.  Every worker re-checks
+that assumption against its actual rows; if the byte cap would have
+sealed a group early anywhere, the whole table is redone through the
+exact single-stream grouping (:func:`iter_seal_groups`) with only the
+sealing fanned out — slower, never wrong.  The same exact path handles
+tables with an expiry cutoff, where chunk-header row counts overstate
+the surviving stream.
+
+The process backend exists because of the GIL: threads time-slice the
+same interpreter, processes do not.  Chunks cross into workers as raw
+payload bytes and blocks cross back in their packed (Figure 4) form —
+both near-memcpy for pickle — so the parent's serial share stays small.
+
+Each in-flight partition charges the payload bytes it ships against the
+machine's :class:`~repro.core.parallel.FootprintBudget` (when given),
+so parallel replay's transient footprint queues against concurrent
+restarts instead of stacking on top of them.  Releases ride the
+future's done-callback — never the parent thread — so a parent blocked
+in ``acquire`` can always be unblocked by a finishing worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.rowblock import RowBlock
+from repro.columnstore.table import Table, estimate_row_bytes
+from repro.core.parallel import FootprintBudget
+from repro.disk.backup import DiskBackup
+from repro.disk.format import decode_chunk_rows, read_chunk_payloads
+from repro.disk.recovery import recover_table_rows
+from repro.errors import RecoveryError, SchemaError
+from repro.types import TIME_COLUMN, ColumnValue
+from repro.util.clock import Clock, SystemClock
+
+REPLAY_BACKENDS = ("thread", "process")
+
+#: Partitions handed out per worker (per table): enough slices that a
+#: slow partition does not leave the pool idle, few enough that the
+#: boundary chunks decoded by two neighbours stay a rounding error.
+_PARTITIONS_PER_WORKER = 3
+
+
+def _validate_time(row: Mapping[str, ColumnValue]) -> None:
+    """The ``Table.add_row`` row checks, verbatim — replay must reject
+    exactly what live ingestion (and therefore serial replay) rejects."""
+    if TIME_COLUMN not in row:
+        raise SchemaError(f"row lacks the required '{TIME_COLUMN}' column")
+    time_value = row[TIME_COLUMN]
+    if not isinstance(time_value, int) or isinstance(time_value, bool):
+        raise SchemaError(f"'{TIME_COLUMN}' must be an integer unix timestamp")
+
+
+def iter_seal_groups(
+    rows: Iterable[Mapping[str, ColumnValue]],
+    rows_per_block: int,
+    max_block_bytes: int,
+) -> Iterator[tuple[list[dict[str, ColumnValue]], int]]:
+    """Yield ``(rows, estimated_bytes)`` groups at exact seal boundaries.
+
+    Mirrors :meth:`Table.add_row` precisely — same validation, same
+    row-count and pre-compression byte thresholds checked *after* each
+    append — so the groups are the blocks single-stream replay would
+    seal, in the same order.  Any drift here breaks the digest-identity
+    guarantee, which is why the thresholds are taken from the target
+    table rather than re-defaulted.
+    """
+    buffer: list[dict[str, ColumnValue]] = []
+    buffer_bytes = 0
+    for row in rows:
+        _validate_time(row)
+        buffer.append(dict(row))
+        buffer_bytes += estimate_row_bytes(row)
+        if len(buffer) >= rows_per_block or buffer_bytes >= max_block_bytes:
+            yield buffer, buffer_bytes
+            buffer = []
+            buffer_bytes = 0
+    if buffer:
+        yield buffer, buffer_bytes
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (module-level: the process backend pickles references)
+# ----------------------------------------------------------------------
+
+
+def _seal_group(rows: list[dict[str, ColumnValue]], created_at: float) -> RowBlock:
+    return RowBlock.from_rows(rows, created_at=created_at)
+
+
+def _seal_group_packed(rows: list[dict[str, ColumnValue]], created_at: float) -> bytes:
+    # Blocks cross the process boundary in their contiguous packed form;
+    # the parent unpacks (and re-uids) them on arrival.
+    return RowBlock.from_rows(rows, created_at=created_at).pack()
+
+
+def _replay_partition(
+    chunks: list[tuple[int, bytes]],
+    skip: int,
+    take: int,
+    rows_per_block: int,
+    max_block_bytes: int,
+    created_at: float,
+    packed: bool,
+) -> list[RowBlock] | list[bytes] | None:
+    """Decode a span of chunks and seal its ``take`` rows into blocks.
+
+    ``skip`` positions the span's first row inside its first chunk (the
+    partitioner aligns partitions to seal boundaries, not to chunk
+    boundaries, so a boundary chunk is decoded by both neighbours).
+    Returns ``None`` when the byte cap would have sealed a group before
+    the row-count threshold — the count-based partitioning premise is
+    then wrong for this table, and the caller falls back to exact
+    single-stream grouping.
+    """
+    rows: list[dict[str, ColumnValue]] = []
+    for n_rows, payload in chunks:
+        rows.extend(decode_chunk_rows(payload, n_rows))
+        if len(rows) >= skip + take:
+            break
+    rows = rows[skip : skip + take]
+    blocks: list = []
+    buffer: list[dict[str, ColumnValue]] = []
+    buffer_bytes = 0
+    for row in rows:
+        _validate_time(row)
+        buffer.append(row)
+        buffer_bytes += estimate_row_bytes(row)
+        if buffer_bytes >= max_block_bytes and len(buffer) < rows_per_block:
+            return None  # byte cap binds: count-based boundaries are wrong
+        if len(buffer) >= rows_per_block:
+            blocks.append((_seal_group_packed if packed else _seal_group)(
+                buffer, created_at
+            ))
+            buffer = []
+            buffer_bytes = 0
+    if buffer:
+        blocks.append((_seal_group_packed if packed else _seal_group)(
+            buffer, created_at
+        ))
+    return blocks
+
+
+def _make_executor(backend: str, workers: int) -> Executor:
+    if backend == "thread":
+        return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="replay")
+    if backend == "process":
+        return ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("fork")
+        )
+    raise ValueError(f"unknown replay backend '{backend}' (want thread|process)")
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
+
+
+class _Submitter:
+    """Budget-charged submission with in-order draining.
+
+    Futures drain oldest-first, so results arrive in submission order —
+    which the callers arrange to be seal order.  On an error every
+    outstanding future is awaited (their done-callbacks return their
+    budget bytes) before the error propagates, keeping the budget
+    balanced for whatever path runs next.
+    """
+
+    def __init__(self, executor: Executor, budget: FootprintBudget | None) -> None:
+        self._executor = executor
+        self._budget = budget
+        self._pending: deque[Future] = deque()
+
+    def submit(self, nbytes: int, fn, /, *args) -> None:
+        if self._budget is not None:
+            self._budget.acquire(nbytes)
+        try:
+            future = self._executor.submit(fn, *args)
+        except BaseException:
+            if self._budget is not None:
+                self._budget.release(nbytes)
+            raise
+        if self._budget is not None:
+            # Release from the done-callback, not the drain: the parent
+            # may be blocked in acquire() for the next submission, and
+            # only a worker finishing can free bytes for it.
+            future.add_done_callback(
+                lambda _f, n=nbytes, b=self._budget: b.release(n)
+            )
+        self._pending.append(future)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def drain_oldest(self):
+        return self._pending.popleft().result()
+
+    def abandon(self) -> None:
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.cancel():
+                try:
+                    future.result()
+                except BaseException:
+                    pass
+
+
+def _replay_table_exact(
+    backup: DiskBackup,
+    table: Table,
+    executor: Executor,
+    backend: str,
+    budget: FootprintBudget | None,
+    clock: Clock,
+    window: int,
+) -> int:
+    """The exact-grouping path: serial decode, parallel seal.
+
+    Used when count-based partitioning cannot hold — an expiry cutoff
+    thins the stream mid-chunk, or the byte cap sealed a group early.
+    The parent streams rows once through :func:`iter_seal_groups` and
+    fans only ``RowBlock.from_rows`` out; correct for every input, but
+    the serial decode bounds its speedup.
+    """
+    task = _seal_group if backend == "thread" else _seal_group_packed
+    sub = _Submitter(executor, budget)
+    blocks: list[RowBlock] = []
+    count = 0
+
+    def drain_oldest() -> None:
+        result = sub.drain_oldest()
+        blocks.append(RowBlock.unpack(result) if backend == "process" else result)
+
+    try:
+        groups = iter_seal_groups(
+            recover_table_rows(backup, table.name),
+            table.rows_per_block,
+            table.max_block_bytes,
+        )
+        for rows, nbytes in groups:
+            sub.submit(nbytes, task, rows, clock.now())
+            count += len(rows)
+            while len(sub) >= window:
+                drain_oldest()
+        while len(sub):
+            drain_oldest()
+    except BaseException:
+        sub.abandon()
+        raise
+    table.replace_blocks(blocks)
+    return count
+
+
+def _replay_table_partitioned(
+    backup: DiskBackup,
+    table: Table,
+    executor: Executor,
+    backend: str,
+    budget: FootprintBudget | None,
+    clock: Clock,
+    workers: int,
+) -> int | None:
+    """The fast path: chunk-aligned partitions, decode + seal in workers.
+
+    Returns ``None`` when any worker reports the byte cap binding, in
+    which case nothing was installed and the caller must rerun the
+    table through :func:`_replay_table_exact`.
+    """
+    path = backup.table_file(table.name)
+    if not path.exists():
+        table.replace_blocks([])
+        return 0
+    with open(path, "rb") as fh:
+        chunks = list(read_chunk_payloads(fh))
+    counts = [n_rows for n_rows, _ in chunks]
+    total = sum(counts)
+    if total == 0:
+        table.replace_blocks([])
+        return 0
+    rpb = table.rows_per_block
+    n_groups = -(-total // rpb)
+    per_part = max(1, -(-n_groups // (workers * _PARTITIONS_PER_WORKER))) * rpb
+    # Chunk index of each global row: starts[i] = first row of chunk i.
+    starts: list[int] = []
+    acc = 0
+    for n in counts:
+        starts.append(acc)
+        acc += n
+    packed = backend == "process"
+    sub = _Submitter(executor, budget)
+    blocks: list[RowBlock] = []
+    results: list = []
+    try:
+        chunk_idx = 0
+        for begin in range(0, total, per_part):
+            end = min(begin + per_part, total)
+            while starts[chunk_idx] + counts[chunk_idx] <= begin:
+                chunk_idx += 1
+            last = chunk_idx
+            while starts[last] + counts[last] < end:
+                last += 1
+            span = chunks[chunk_idx : last + 1]
+            sub.submit(
+                sum(len(p) for _, p in span),
+                _replay_partition,
+                span,
+                begin - starts[chunk_idx],
+                end - begin,
+                rpb,
+                table.max_block_bytes,
+                clock.now(),
+                packed,
+            )
+            while len(sub) >= workers * _PARTITIONS_PER_WORKER:
+                results.append(sub.drain_oldest())
+        while len(sub):
+            results.append(sub.drain_oldest())
+    except BaseException:
+        sub.abandon()
+        raise
+    for result in results:
+        if result is None:
+            return None  # byte cap bound somewhere: redo exactly
+        blocks.extend(RowBlock.unpack(b) if packed else b for b in result)
+    table.replace_blocks(blocks)
+    return total
+
+
+def replay_leafmap(
+    backup: DiskBackup,
+    leafmap: LeafMap,
+    workers: int = 4,
+    backend: str = "thread",
+    budget: FootprintBudget | None = None,
+    clock: Clock | None = None,
+    progress: Callable[[str, int], None] | None = None,
+) -> int:
+    """Rebuild every backed-up table via parallel legacy replay.
+
+    A drop-in sibling of :func:`~repro.disk.recovery.recover_leafmap`:
+    same empty-leafmap precondition, same watermark restoration, same
+    ``progress`` callback, same return value — and the same recovered
+    rows, block for block.  Only wall-clock differs.
+    """
+    if workers < 1:
+        raise ValueError("replay needs at least one worker")
+    if backend not in REPLAY_BACKENDS:
+        raise ValueError(f"unknown replay backend '{backend}' (want thread|process)")
+    if len(leafmap):
+        raise RecoveryError("disk recovery requires an empty leaf map")
+    clock = clock or SystemClock()
+    total = 0
+    with _make_executor(backend, workers) as executor:
+        for table_name in backup.table_names:
+            table = leafmap.create_table(table_name)
+            count: int | None = None
+            if backup.expire_cutoff(table_name) == 0:
+                count = _replay_table_partitioned(
+                    backup, table, executor, backend, budget, clock, workers
+                )
+            if count is None:
+                count = _replay_table_exact(
+                    backup,
+                    table,
+                    executor,
+                    backend,
+                    budget,
+                    clock,
+                    window=workers * 2,
+                )
+            # Restore the backup watermarks so future syncs line up,
+            # exactly as single-stream replay does.
+            table.total_rows_ingested = backup.synced_rows(table_name)
+            table.total_rows_expired = backup.synced_rows(table_name) - count
+            total += count
+            if progress is not None:
+                progress(table_name, count)
+    return total

@@ -14,7 +14,7 @@ File layout::
 
     u32 magic "SMDF"
     u16 format version
-    u16 reserved
+    u16 flags                 (bit 0: file is a delta, not a base snapshot)
     u32 crc32 of body
     u64 body length
     u64 snapshot generation   (matches the manifest's watermark when fresh)
@@ -26,6 +26,14 @@ The generation number and the two watermarks make a snapshot
 self-describing: the recovery ladder can check it against the backup
 manifest (stale → route down to legacy replay) and restore the table's
 monotone counters so post-recovery incremental syncs line up.
+
+The flags word (formerly reserved, always written as zero — so every
+pre-delta file reads back as a base) marks *delta* files: the same
+envelope and body layout, but the body holds only the blocks sealed
+since the previous chain generation.  A delta is meaningful only through
+its manifest chain link; the chain reader cross-checks the flag against
+the link's declared kind so a base can never be silently consumed as a
+delta or vice versa.
 """
 
 from __future__ import annotations
@@ -48,19 +56,28 @@ SHMDISK_MAGIC = 0x4644_4D53  # "SMDF"
 #: :func:`read_segment_header` when the body is parsed.
 SHMDISK_FORMAT_VERSION = 2
 _FILE_HEADER = struct.Struct("<IHHIQQQQ")
-# magic, format version, reserved, crc of body, body length,
+# magic, format version, flags, crc of body, body length,
 # snapshot generation, rows ingested, rows expired
+
+#: Envelope flag bit: the file is a per-block delta, not a base snapshot.
+SNAPSHOT_FLAG_DELTA = 0x0001
+_KNOWN_FLAGS = SNAPSHOT_FLAG_DELTA
 
 
 @dataclass(frozen=True)
 class ShmSnapshot:
-    """One table's shm-format disk snapshot, fully decoded."""
+    """One table's shm-format disk snapshot (or delta), fully decoded."""
 
     table_name: str
     blocks: list[RowBlock]
     generation: int
     rows_ingested: int
     rows_expired: int
+    flags: int = 0
+
+    @property
+    def is_delta(self) -> bool:
+        return bool(self.flags & SNAPSHOT_FLAG_DELTA)
 
     @property
     def row_count(self) -> int:
@@ -77,6 +94,28 @@ def _table_filename(name: str) -> str:
 def snapshot_filename(name: str) -> str:
     """The filesystem-safe snapshot file name for a table."""
     return _table_filename(name)
+
+
+def delta_filename(name: str, generation: int) -> str:
+    """The filesystem-safe delta file name for one chain generation."""
+    base = _table_filename(name)
+    stem, suffix = base.rsplit(".", 1)
+    return f"{stem}.d{generation}.{suffix}"
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """fsync a directory so a just-renamed file survives a crash.
+
+    ``os.replace`` makes the rename atomic but not durable: until the
+    containing directory's metadata reaches disk, a crash can roll the
+    directory entry back and lose a file the manifest already vouches
+    for.  POSIX requires an fsync on the directory fd itself.
+    """
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _pack_table(table_name: str, blocks: list[RowBlock]) -> bytes:
@@ -99,26 +138,35 @@ def write_table_shm_format(
     generation: int = 0,
     rows_ingested: int | None = None,
     rows_expired: int = 0,
+    flags: int = 0,
+    filename: str | None = None,
 ) -> Path:
     """Write one table's shm-format disk file; returns its path.
 
-    The write is atomic (tmp + ``os.replace``) and fsynced, so a torn
-    write can only ever leave the *previous* snapshot in place — which
-    the generation check then routes around.
+    The write is atomic (tmp + ``os.replace``), the file is fsynced, and
+    the containing directory is fsynced after the rename — a torn write
+    can only ever leave the *previous* snapshot in place (which the
+    generation check routes around), and a crash right after the rename
+    cannot un-land a file the manifest is about to vouch for.
+
+    ``filename`` overrides the default base-snapshot name — delta files
+    live in the same directory under their chain-generation names — and
+    ``flags`` lands in the envelope (``SNAPSHOT_FLAG_DELTA`` marks a
+    delta body).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     if rows_ingested is None:
         rows_ingested = rows_expired + sum(block.row_count for block in blocks)
     body = _pack_table(table_name, blocks)
-    path = directory / _table_filename(table_name)
+    path = directory / (filename or _table_filename(table_name))
     tmp = path.with_suffix(".tmp")
     with open(tmp, "wb") as fh:
         fh.write(
             _FILE_HEADER.pack(
                 SHMDISK_MAGIC,
                 SHMDISK_FORMAT_VERSION,
-                0,
+                flags,
                 crc32_of(body),
                 len(body),
                 generation,
@@ -130,6 +178,7 @@ def write_table_shm_format(
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_directory(directory)
     return path
 
 
@@ -168,7 +217,7 @@ def read_table_snapshot(path: str | Path) -> ShmSnapshot:
     (
         magic,
         version,
-        _,
+        flags,
         crc,
         body_len,
         generation,
@@ -181,6 +230,10 @@ def read_table_snapshot(path: str | Path) -> ShmSnapshot:
         raise LayoutVersionError(
             f"shm-format disk file version {version}; this build reads "
             f"{SHMDISK_FORMAT_VERSION}"
+        )
+    if flags & ~_KNOWN_FLAGS:
+        raise LayoutVersionError(
+            f"shm-format disk file carries unknown flags 0x{flags:04x}"
         )
     body = memoryview(raw)[_FILE_HEADER.size : _FILE_HEADER.size + body_len]
     if len(body) < body_len:
@@ -197,6 +250,7 @@ def read_table_snapshot(path: str | Path) -> ShmSnapshot:
         generation=generation,
         rows_ingested=rows_ingested,
         rows_expired=rows_expired,
+        flags=flags,
     )
 
 
@@ -221,6 +275,10 @@ def recover_leafmap_shm_format(
     total = 0
     for path in sorted(Path(directory).glob("*.shmdisk")):
         snap = read_table_snapshot(path)
+        if snap.is_delta:
+            # Deltas are meaningful only through their manifest chain;
+            # a bare directory walk must not install one as a full table.
+            continue
         table = leafmap.get_or_create(snap.table_name)
         table.replace_blocks(snap.blocks)
         table.total_rows_ingested = snap.rows_ingested

@@ -75,6 +75,23 @@ class HardwareProfile:
     #: process-pool backend escapes it with one interpreter per worker).
     gil_copy_streams: float = 1.0
 
+    # Incremental snapshot sync (§4.1: "only the sections of data that
+    # have changed since the last synchronization point need to be
+    # updated").  An append-mostly workload seals or expires only a
+    # small fraction of a leaf's bytes between sync points; the delta
+    # chain writes just that fraction, plus a full base rewrite every
+    # ``snapshot_chain_links`` syncs when compaction folds the chain.
+    snapshot_churn_fraction: float = 0.05
+    snapshot_chain_links: int = 8
+
+    # Parallel legacy replay.  Row decode + block sealing are pure-Python
+    # CPU work: thread workers share one GIL (same ceiling story as
+    # ``gil_copy_streams``), process workers scale to the translate
+    # cores.  The parent's serial share — the raw chunk scan and the
+    # in-order merge — bounds the speedup (Amdahl).
+    gil_replay_streams: float = 1.0
+    replay_serial_fraction: float = 0.08
+
     # Fixed overheads.
     process_restart_overhead_s: float = 12.0
     #: Serve-while-restoring: time to publish the block directory (map
@@ -179,6 +196,59 @@ class HardwareProfile:
         # `streams` concurrent copies at a time, workers/streams waves.
         parallel = (workers / streams) * self.mem_copy_seconds(nbytes, streams)
         return sequential / parallel
+
+    # ------------------------------------------------------------------
+    # Incremental sync and parallel replay
+    # ------------------------------------------------------------------
+
+    def incremental_sync_bytes(
+        self,
+        nbytes: float,
+        churn: float | None = None,
+        chain_links: int | None = None,
+    ) -> float:
+        """Amortized snapshot bytes written per sync point for a leaf
+        holding ``nbytes``: the churned fraction as a delta, plus the
+        base rewrite compaction pays once per ``chain_links`` syncs."""
+        churn = self.snapshot_churn_fraction if churn is None else churn
+        chain_links = (
+            self.snapshot_chain_links if chain_links is None else chain_links
+        )
+        if not 0.0 <= churn <= 1.0:
+            raise ValueError("churn must be a fraction in [0, 1]")
+        if chain_links < 1:
+            raise ValueError("need at least one chain link")
+        return nbytes * (churn + 1.0 / chain_links)
+
+    def incremental_sync_reduction(
+        self, churn: float | None = None, chain_links: int | None = None
+    ) -> float:
+        """Full-rewrite sync bytes over incremental sync bytes — the
+        write-amplification drop the delta chain buys.  The defaults
+        (5% churn, 8-link chains) give ~5.7x, the floor E17 asserts."""
+        return 1e9 / self.incremental_sync_bytes(1e9, churn, chain_links)
+
+    def effective_replay_streams(self, workers: int, backend: str = "process") -> float:
+        """Truly-concurrent replay streams ``workers`` workers achieve.
+
+        Decode and seal are CPU-bound pure Python: thread workers are
+        capped by the GIL at ``gil_replay_streams``, process workers by
+        the machine's translate cores."""
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if backend == "thread":
+            return min(float(workers), self.gil_replay_streams)
+        if backend == "process":
+            return min(float(workers), self.translate_cores)
+        raise ValueError(f"unknown replay backend {backend!r}")
+
+    def parallel_replay_speedup(self, workers: int, backend: str = "process") -> float:
+        """Speedup of the legacy translate stage with ``workers`` replay
+        workers: Amdahl over the parent's serial chunk scan and merge,
+        with the parallel share divided across the effective streams."""
+        streams = self.effective_replay_streams(workers, backend)
+        serial = self.replay_serial_fraction
+        return 1.0 / (serial + (1.0 - serial) / streams)
 
     # ------------------------------------------------------------------
     # Restart durations (per leaf)

@@ -1,0 +1,455 @@
+"""Incremental snapshot chains: delta writes, compaction, chain recovery.
+
+The snapshot side of ``DiskBackup`` appends per-block delta files keyed
+by the sync/snapshot generation protocol instead of rewriting whole
+tables; recovery materializes base + deltas and any torn or stale link
+routes the leaf to legacy replay exactly as a torn base always has.
+These tests pin the write-path behavior (what gets written when), the
+chain reader's validity gate (every phase, swept through the engine so
+tracker balances are checked too), and the directory-fsync durability
+fix.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod, RestartEngine
+from repro.disk import shmformat
+from repro.disk.backup import DiskBackup
+from repro.disk.recovery import materialize_chain, recover_leafmap_snapshots
+from repro.errors import CorruptionError, SnapshotStaleError
+from repro.util.memtrack import MemoryTracker
+from tests.conftest import make_leafmap
+
+
+def sealed_sync(backup, leafmap):
+    leafmap.seal_all()
+    backup.sync_leafmap(leafmap)
+
+
+def grow(leafmap, n, start):
+    # Same column set as make_leafmap's rows: the legacy chunk writer
+    # pads rows to the table-wide schema, so differently-shaped rows
+    # would round-trip differently through the two disk tiers.
+    leafmap.get_table("events").add_rows(
+        {
+            "time": start + i,
+            "host": f"h{i % 5}",
+            "latency_ms": float(i),
+            "tags": ["prod"],
+        }
+        for i in range(n)
+    )
+    return start + n
+
+
+class TestDeltaChain:
+    def test_second_sync_appends_delta_not_base(self, backup, clock):
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        base = backup.snapshot_path("events")
+        before = base.read_bytes()
+        grow(leafmap, 60, 5000)
+        sealed_sync(backup, leafmap)
+        chain = backup.snapshot_chain("events")
+        assert [link["kind"] for link in chain] == ["base", "delta"]
+        assert base.read_bytes() == before, "base must not be rewritten"
+        assert (backup.snapshot_dir / chain[1]["file"]).exists()
+        assert backup.stats.bases_written == 1
+        assert backup.stats.deltas_written == 1
+        assert backup.snapshot_valid("events")
+
+    def test_delta_bytes_far_below_full_rewrite(self, backup, clock):
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        base_bytes = backup.stats.snapshot_bytes_written
+        start = 5000
+        for _ in range(4):
+            start = grow(leafmap, 50, start)
+            sealed_sync(backup, leafmap)
+        delta_bytes = backup.stats.snapshot_bytes_written - base_bytes
+        # 4 one-block deltas versus 4 rewrites of an ever-growing table.
+        assert delta_bytes < 4 * base_bytes
+        assert backup.stats.write_amplification < 1.0
+
+    def test_pure_expiry_sync_is_manifest_only(self, tmp_path, clock):
+        """A generation that only drops blocks writes no file at all:
+        the chain link's drop list describes it completely.
+
+        A pure-expiry generation empties the table (expiry consumes a
+        prefix, and it must pass the sync watermark to bump), which is
+        100% churn — so this link shape only survives when churn folding
+        is tuned off."""
+        backup = DiskBackup(tmp_path / "b", compact_churn=1.0)
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        # New rows sealed and then expired *before* ever being synced:
+        # the sync point sees expiry outpacing the watermark.
+        grow(leafmap, 50, 5000)
+        leafmap.seal_all()
+        leafmap.get_table("events").expire_before(10_000)
+        backup.record_expiry("events", 10_000)
+        files_before = sorted(backup.snapshot_dir.iterdir())
+        backup.sync_leafmap(leafmap)
+        chain = backup.snapshot_chain("events")
+        assert chain[-1]["file"] is None
+        assert chain[-1]["dropped"] == [0, 1, 2]
+        assert backup.stats.manifest_only_links == 1
+        assert sorted(backup.snapshot_dir.iterdir()) == files_before
+        recovered = LeafMap(clock=clock, rows_per_block=50)
+        recover_leafmap_snapshots(DiskBackup(backup.directory), recovered)
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+
+    def test_chain_compacts_at_max_links(self, tmp_path, clock):
+        backup = DiskBackup(tmp_path / "b", max_chain_links=3)
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        start = 5000
+        for _ in range(6):
+            start = grow(leafmap, 50, start)
+            sealed_sync(backup, leafmap)
+        assert backup.stats.compactions >= 1
+        assert len(backup.snapshot_chain("events")) <= 3
+        # Compaction folded the chain: obsolete delta files are gone.
+        live = {link["file"] for link in backup.snapshot_chain("events")}
+        on_disk = {p.name for p in backup.snapshot_dir.iterdir()}
+        assert on_disk == live
+
+    def test_churn_triggers_compaction(self, tmp_path, clock):
+        backup = DiskBackup(tmp_path / "b", max_chain_links=100, compact_churn=0.4)
+        leafmap = make_leafmap(clock)  # 3 blocks at times 1000..1119
+        sealed_sync(backup, leafmap)
+        start = grow(leafmap, 50, 5000)
+        sealed_sync(backup, leafmap)
+        # Expire the original three blocks: churn 3/4 > 0.4.
+        leafmap.get_table("events").expire_before(2000)
+        backup.record_expiry("events", 2000)
+        start = grow(leafmap, 50, start)
+        sealed_sync(backup, leafmap)
+        assert backup.stats.compactions == 1
+        chain = backup.snapshot_chain("events")
+        assert [link["kind"] for link in chain] == ["base"]
+        recovered = LeafMap(clock=clock, rows_per_block=50)
+        recover_leafmap_snapshots(DiskBackup(backup.directory), recovered)
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+
+    def test_noop_sync_skips_snapshot_write(self, backup, clock):
+        """Satellite fix: an unchanged sync generation writes nothing —
+        no base, no delta, no manifest-only link, no manifest save."""
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        points = backup.stats.snapshot_points
+        stamp = [(p.name, p.stat().st_mtime_ns) for p in backup.snapshot_dir.iterdir()]
+        chain_len = len(backup.snapshot_chain("events"))
+        backup.sync_leafmap(leafmap)
+        backup.sync_leafmap(leafmap)
+        assert backup.stats.skipped_unchanged == 2
+        assert backup.stats.snapshot_points == points
+        assert len(backup.snapshot_chain("events")) == chain_len
+        after = [(p.name, p.stat().st_mtime_ns) for p in backup.snapshot_dir.iterdir()]
+        assert after == stamp
+
+    def test_fresh_manager_rewrites_base(self, backup, clock):
+        """Block uids are process-local, so a reopened manager cannot
+        extend the chain it finds: its first snapshot is a fresh base."""
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        grow(leafmap, 60, 5000)
+        sealed_sync(backup, leafmap)
+        assert len(backup.snapshot_chain("events")) == 2
+        reopened = DiskBackup(backup.directory)
+        grow(leafmap, 60, 6000)
+        leafmap.seal_all()
+        reopened.sync_leafmap(leafmap)
+        assert reopened.stats.bases_written == 1
+        assert reopened.stats.deltas_written == 0
+        chain = reopened.snapshot_chain("events")
+        assert [link["kind"] for link in chain] == ["base"]
+        # And the old delta files were cleaned up with the fold.
+        on_disk = {p.name for p in reopened.snapshot_dir.iterdir()}
+        assert on_disk == {chain[0]["file"]}
+
+    def test_incremental_disabled_always_rewrites(self, tmp_path, clock):
+        backup = DiskBackup(tmp_path / "b", incremental=False)
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        start = 5000
+        for _ in range(3):
+            start = grow(leafmap, 50, start)
+            sealed_sync(backup, leafmap)
+        assert backup.stats.bases_written == 4
+        assert backup.stats.deltas_written == 0
+        assert len(backup.snapshot_chain("events")) == 1
+        assert backup.stats.write_amplification >= 1.0
+
+    def test_chain_survives_manager_restart(self, backup, clock):
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        grow(leafmap, 60, 5000)
+        sealed_sync(backup, leafmap)
+        reopened = DiskBackup(backup.directory)
+        assert reopened.snapshot_valid("events")
+        assert [link["kind"] for link in reopened.snapshot_chain("events")] == [
+            "base",
+            "delta",
+        ]
+        recovered = LeafMap(clock=clock, rows_per_block=50)
+        recover_leafmap_snapshots(reopened, recovered)
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+
+    def test_missing_delta_file_invalidates_chain(self, backup, clock):
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        grow(leafmap, 60, 5000)
+        sealed_sync(backup, leafmap)
+        delta = backup.snapshot_chain("events")[-1]
+        (backup.snapshot_dir / delta["file"]).unlink()
+        assert not backup.snapshot_valid("events")
+        assert not backup.snapshots_ready()
+
+    def test_drop_table_removes_chain_files(self, backup, clock):
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        grow(leafmap, 60, 5000)
+        sealed_sync(backup, leafmap)
+        files = backup.chain_files("events")
+        assert len(files) == 2 and all(p.exists() for p in files)
+        backup.drop_table("events")
+        assert not any(p.exists() for p in files)
+
+    def test_wipe_removes_delta_files(self, backup, clock):
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        grow(leafmap, 60, 5000)
+        sealed_sync(backup, leafmap)
+        backup.wipe()
+        assert not backup.snapshot_dir.exists()
+
+    def test_legacy_manifest_chain_synthesis(self, backup, clock):
+        """A pre-chain manifest (bare ``snapshot_gen``, single base file)
+        must still recover through the chain reader."""
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        manifest_path = backup.directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        for entry in manifest.values():
+            entry.pop("chain", None)
+            entry.pop("next_seq", None)
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = DiskBackup(backup.directory)
+        assert reopened.snapshot_valid("events")
+        snap = materialize_chain(reopened, "events")
+        assert snap.row_count == 120
+        recovered = LeafMap(clock=clock, rows_per_block=50)
+        recover_leafmap_snapshots(reopened, recovered)
+        assert recovered.snapshot_rows() == leafmap.snapshot_rows()
+
+
+class TestDirectoryFsync:
+    """Satellite fix: ``os.replace`` is atomic but not durable — the
+    containing directory must be fsynced or a crash can roll back a
+    rename the manifest already vouches for."""
+
+    def test_snapshot_write_fsyncs_directory(self, backup, clock, monkeypatch):
+        synced_dirs = []
+        real = shmformat.fsync_directory
+        monkeypatch.setattr(
+            shmformat, "fsync_directory", lambda d: (synced_dirs.append(d), real(d))
+        )
+        leafmap = make_leafmap(clock)
+        sealed_sync(backup, leafmap)
+        assert backup.snapshot_dir in synced_dirs
+
+    def test_manifest_save_fsyncs_directory(self, backup, clock, monkeypatch):
+        synced_dirs = []
+        real = shmformat.fsync_directory
+        monkeypatch.setattr(
+            "repro.disk.backup.fsync_directory",
+            lambda d: (synced_dirs.append(d), real(d)),
+        )
+        leafmap = make_leafmap(clock)
+        backup.sync_leafmap(leafmap)
+        assert backup.directory in synced_dirs
+
+    def test_dir_fsync_fault_never_vouches_generation(
+        self, shm_namespace, tmp_path, clock, monkeypatch
+    ):
+        """Fault injection: the directory fsync after the snapshot rename
+        fails.  The manifest is saved only after the snapshot landed
+        durably, so the failed generation is never vouched for — the
+        orphaned file is untrusted, and a retried sync recovers fully."""
+        backup = DiskBackup(tmp_path / "backup")
+        leafmap = make_leafmap(clock)
+        leafmap.seal_all()
+
+        def explode(directory):
+            raise OSError("injected: directory fsync failed")
+
+        monkeypatch.setattr(shmformat, "fsync_directory", explode)
+        with pytest.raises(OSError, match="injected"):
+            backup.sync_leafmap(leafmap)
+        monkeypatch.undo()
+
+        # The snapshot file may exist on disk, but nothing vouches for it.
+        reopened = DiskBackup(tmp_path / "backup")
+        assert not reopened.snapshot_valid("events")
+        assert not reopened.snapshots_ready()
+
+        # The application retries the sync point after the fault clears;
+        # the chain is rebuilt and recovery sees every row.
+        reopened.sync_leafmap(leafmap)
+        assert reopened.snapshots_ready()
+        restored = LeafMap(clock=clock, rows_per_block=50)
+        report = RestartEngine(
+            "0", namespace=shm_namespace, backup=reopened, clock=clock
+        ).restore(restored)
+        assert report.method is RecoveryMethod.DISK_SNAPSHOT
+        assert restored.snapshot_rows() == leafmap.snapshot_rows()
+
+
+def chained_backup(tmp_path, clock):
+    """A backup whose 'events' chain is base + delta + delta with drops."""
+    backup = DiskBackup(tmp_path / "backup")
+    leafmap = make_leafmap(clock)  # blocks at times 1000..1119
+    sealed_sync(backup, leafmap)
+    grow(leafmap, 60, 5000)
+    sealed_sync(backup, leafmap)
+    leafmap.get_table("events").expire_before(1100)  # drops blocks 0..1
+    backup.record_expiry("events", 1100)
+    grow(leafmap, 60, 6000)
+    sealed_sync(backup, leafmap)
+    chain = backup.snapshot_chain("events")
+    assert [link["kind"] for link in chain] == ["base", "delta", "delta"]
+    assert chain[-1]["dropped"], "sweep needs a link with drops"
+    assert backup.snapshots_ready()
+    return backup, leafmap.snapshot_rows()
+
+
+def _patch_manifest(backup, mutate):
+    path = backup.directory / "manifest.json"
+    manifest = json.loads(path.read_text())
+    mutate(manifest["events"])
+    path.write_text(json.dumps(manifest))
+    return DiskBackup(backup.directory)
+
+
+class TestChainReadFaultSweep:
+    """Every chain-read phase, failed on purpose: the leaf must land on
+    legacy replay with identical rows and a balanced tracker."""
+
+    def corruption(self, backup, case):
+        chain = backup.snapshot_chain("events")
+        if case == "missing_base":
+            (backup.snapshot_dir / chain[0]["file"]).unlink()
+            return backup
+        if case == "missing_delta":
+            (backup.snapshot_dir / chain[1]["file"]).unlink()
+            return backup
+        if case == "torn_delta":
+            path = backup.snapshot_dir / chain[1]["file"]
+            path.write_bytes(path.read_bytes()[:40])
+            return backup
+        if case == "tip_gen_mismatch":
+            return _patch_manifest(
+                backup, lambda e: e["chain"][-1].update(gen=e["chain"][-1]["gen"] + 1)
+            )
+        if case == "nonmonotone_gens":
+            return _patch_manifest(
+                backup, lambda e: e["chain"][1].update(gen=e["chain"][0]["gen"])
+            )
+        if case == "kind_out_of_position":
+            return _patch_manifest(backup, lambda e: e["chain"][1].update(kind="base"))
+        if case == "unknown_dropped_seq":
+            return _patch_manifest(
+                backup, lambda e: e["chain"][1]["dropped"].append(999)
+            )
+        if case == "reused_seq":
+            return _patch_manifest(
+                backup, lambda e: e["chain"][1].update(start_seq=0)
+            )
+        if case == "block_count_mismatch":
+            return _patch_manifest(
+                backup,
+                lambda e: e["chain"][1].update(blocks=e["chain"][1]["blocks"] + 1),
+            )
+        if case == "flag_kind_mismatch":
+            # Clear the delta flag in the file envelope: the link says
+            # delta, the file now claims to be a base.
+            path = backup.snapshot_dir / chain[1]["file"]
+            raw = bytearray(path.read_bytes())
+            raw[6:8] = (0).to_bytes(2, "little")  # flags u16 at offset 6
+            path.write_bytes(bytes(raw))
+            return backup
+        raise AssertionError(case)
+
+    # The manifest itself refuses to vouch for these (snapshot_valid is
+    # false), so the engine never enters the snapshot tier.
+    UNTRUSTED = ("missing_base", "missing_delta", "tip_gen_mismatch")
+    # These pass the validity pre-check and fail mid-read: the tier is
+    # entered and the whole leaf falls back.
+    FAULTED = (
+        "torn_delta",
+        "nonmonotone_gens",
+        "kind_out_of_position",
+        "unknown_dropped_seq",
+        "reused_seq",
+        "block_count_mismatch",
+        "flag_kind_mismatch",
+    )
+    CASES = UNTRUSTED + FAULTED
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_chain_fault_falls_back_to_legacy(
+        self, case, shm_namespace, tmp_path, clock
+    ):
+        backup, snapshot = chained_backup(tmp_path, clock)
+        backup = self.corruption(backup, case)
+        with pytest.raises((SnapshotStaleError, CorruptionError)):
+            materialize_chain(backup, "events")
+        tracker = MemoryTracker()
+        restored = LeafMap(clock=clock, rows_per_block=50)
+        report = RestartEngine(
+            "0", namespace=shm_namespace, backup=backup, tracker=tracker, clock=clock
+        ).restore(restored)
+        assert report.method is RecoveryMethod.DISK
+        if case in self.FAULTED:
+            assert report.fell_back_to_legacy
+            assert report.leaf_states == [
+                "init",
+                "disk_snapshot_recovery",
+                "disk_recovery",
+                "alive",
+            ]
+        else:
+            assert not backup.snapshot_valid("events")
+            assert report.leaf_states == ["init", "disk_recovery", "alive"]
+        assert restored.snapshot_rows() == snapshot
+        assert tracker.in_region("shm") == 0
+        assert tracker.in_region("heap") == sum(t.nbytes for t in restored)
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_chain_fault_parallel_replay_matches(
+        self, case, shm_namespace, tmp_path, clock
+    ):
+        """The same sweep with the legacy rung running parallel replay:
+        identical rows, balanced tracker, on both fan-out backends."""
+        backup, snapshot = chained_backup(tmp_path, clock)
+        backup = self.corruption(backup, case)
+        tracker = MemoryTracker()
+        restored = LeafMap(clock=clock, rows_per_block=50)
+        report = RestartEngine(
+            "0",
+            namespace=shm_namespace,
+            backup=backup,
+            tracker=tracker,
+            clock=clock,
+            replay_workers=3,
+        ).restore(restored)
+        assert report.method is RecoveryMethod.DISK
+        assert report.fell_back_to_legacy == (case in self.FAULTED)
+        assert restored.snapshot_rows() == snapshot
+        assert tracker.in_region("heap") == sum(t.nbytes for t in restored)

@@ -1,0 +1,307 @@
+"""Parallel legacy replay: digest identity, fallback paths, budget balance.
+
+``replay_leafmap`` must be a drop-in sibling of ``recover_leafmap``:
+identical recovered rows, blocks, and watermarks on every input, on both
+the thread and the process backend — only wall-clock may differ.  These
+tests pin that equivalence on the partitioned fast path, the exact
+(cutoff / byte-cap) path, and through the engine's legacy rung, plus the
+footprint-budget accounting on success and on injected failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnstore.leafmap import LeafMap
+from repro.core.engine import RecoveryMethod, RestartEngine
+from repro.core.parallel import FootprintBudget
+from repro.disk.backup import DiskBackup
+from repro.disk.format import read_chunk_payloads
+from repro.disk.recovery import recover_leafmap
+from repro.disk.replay import (
+    _replay_partition,
+    iter_seal_groups,
+    replay_leafmap,
+)
+from repro.errors import CorruptionError, RecoveryError
+from repro.util.checksum import rows_digest
+
+
+def build_backup(tmp_path, clock, *, syncs=5, rows_per_sync=700, rows_per_block=64):
+    """A legacy chunk file with unaligned chunk/seal boundaries.
+
+    700 % 64 != 0, so every sync chunk straddles seal groups and every
+    partition boundary lands mid-chunk — the shapes the partitioner's
+    skip/take logic must get right.
+    """
+    backup = DiskBackup(tmp_path / "backup", snapshots=False)
+    leafmap = LeafMap(clock=clock, rows_per_block=rows_per_block)
+    table = leafmap.get_or_create("events")
+    t = 1000
+    for _ in range(syncs):
+        table.add_rows(
+            {"time": t + i, "host": f"web{i % 9:02d}", "latency_ms": float(i % 97)}
+            for i in range(rows_per_sync)
+        )
+        t += rows_per_sync
+        backup.sync_leafmap(leafmap)
+    return backup, leafmap
+
+
+def serial_recovery(backup, clock, rows_per_block=64):
+    restored = LeafMap(clock=clock, rows_per_block=rows_per_block)
+    recover_leafmap(backup, restored)
+    return restored
+
+
+def assert_equivalent(a: LeafMap, b: LeafMap) -> None:
+    """Row-identical, block-identical, watermark-identical."""
+    assert rows_digest(a.snapshot_rows()) == rows_digest(b.snapshot_rows())
+    for ta, tb in zip(a, b):
+        assert ta.name == tb.name
+        assert [blk.row_count for blk in ta.blocks] == [
+            blk.row_count for blk in tb.blocks
+        ]
+        assert ta.total_rows_ingested == tb.total_rows_ingested
+        assert ta.total_rows_expired == tb.total_rows_expired
+
+
+class TestDigestIdentity:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_partitioned_matches_serial(self, tmp_path, clock, backend, workers):
+        backup, _ = build_backup(tmp_path, clock)
+        serial = serial_recovery(backup, clock)
+        parallel = LeafMap(clock=clock, rows_per_block=64)
+        count = replay_leafmap(backup, parallel, workers=workers, backend=backend)
+        assert count == 5 * 700
+        assert_equivalent(serial, parallel)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_cutoff_table_takes_exact_path_and_matches(
+        self, tmp_path, clock, backend
+    ):
+        """An expiry cutoff thins the stream mid-chunk: header row counts
+        overstate survivors, so the table must replay exactly."""
+        backup, leafmap = build_backup(tmp_path, clock)
+        leafmap.get_table("events").expire_before(2400)
+        backup.record_expiry("events", 2400)
+        serial = serial_recovery(backup, clock)
+        assert serial.get_table("events").row_count == 5 * 700 - 1400
+        parallel = LeafMap(clock=clock, rows_per_block=64)
+        replay_leafmap(backup, parallel, workers=3, backend=backend)
+        assert_equivalent(serial, parallel)
+
+    def test_multi_table_replay(self, tmp_path, clock):
+        backup = DiskBackup(tmp_path / "backup", snapshots=False)
+        leafmap = LeafMap(clock=clock, rows_per_block=50)
+        for name, n in (("events", 730), ("metrics", 115), ("empty", 0)):
+            table = leafmap.get_or_create(name)
+            table.add_rows({"time": 1000 + i, "host": "a"} for i in range(n))
+        backup.sync_leafmap(leafmap)
+        serial = serial_recovery(backup, clock, rows_per_block=50)
+        parallel = LeafMap(clock=clock, rows_per_block=50)
+        count = replay_leafmap(backup, parallel, workers=4)
+        assert count == 730 + 115
+        assert_equivalent(serial, parallel)
+
+    def test_torn_tail_chunk_is_skipped_like_serial(self, tmp_path, clock):
+        backup, _ = build_backup(tmp_path, clock, syncs=3)
+        path = backup.table_file("events")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 100])  # tear the final chunk
+        serial = serial_recovery(backup, clock)
+        assert serial.get_table("events").row_count == 2 * 700
+        parallel = LeafMap(clock=clock, rows_per_block=64)
+        replay_leafmap(backup, parallel, workers=4)
+        assert_equivalent(serial, parallel)
+
+
+class TestSealGroups:
+    def test_groups_mirror_table_seal_boundaries(self, clock):
+        rows = [{"time": 1000 + i, "host": f"h{i}"} for i in range(137)]
+        groups = list(iter_seal_groups(rows, 50, 1 << 30))
+        assert [len(g) for g, _ in groups] == [50, 50, 37]
+
+    def test_byte_cap_seals_early(self):
+        rows = [{"time": 1000 + i, "host": "x" * 200} for i in range(40)]
+        groups = list(iter_seal_groups(rows, 50, 1000))
+        assert len(groups) > 1
+        assert all(len(g) < 50 for g, _ in groups)
+
+    def test_invalid_row_raises_like_live_ingest(self):
+        with pytest.raises(Exception, match="time"):
+            list(iter_seal_groups([{"host": "a"}], 50, 1 << 30))
+
+
+class TestPartitionWorker:
+    def payloads(self, backup):
+        with open(backup.table_file("events"), "rb") as fh:
+            return list(read_chunk_payloads(fh))
+
+    def test_skip_take_selects_exact_rows(self, tmp_path, clock):
+        backup, _ = build_backup(tmp_path, clock, syncs=2, rows_per_sync=100)
+        chunks = self.payloads(backup)
+        blocks = _replay_partition(chunks, 30, 120, 64, 1 << 30, 1.0, False)
+        assert [b.row_count for b in blocks] == [64, 56]
+        times = [r["time"] for b in blocks for r in b.to_rows()]
+        assert times == list(range(1030, 1150))
+
+    def test_byte_cap_binding_returns_none(self, tmp_path, clock):
+        backup, _ = build_backup(tmp_path, clock, syncs=1, rows_per_sync=100)
+        chunks = self.payloads(backup)
+        assert _replay_partition(chunks, 0, 100, 64, 64, 1.0, False) is None
+
+    def test_packed_round_trip(self, tmp_path, clock):
+        from repro.columnstore.rowblock import RowBlock
+
+        backup, _ = build_backup(tmp_path, clock, syncs=1, rows_per_sync=100)
+        chunks = self.payloads(backup)
+        packed = _replay_partition(chunks, 0, 100, 64, 1 << 30, 1.0, True)
+        plain = _replay_partition(chunks, 0, 100, 64, 1 << 30, 1.0, False)
+        assert [RowBlock.unpack(p).to_rows() for p in packed] == [
+            b.to_rows() for b in plain
+        ]
+
+
+class SmallBlockLeafMap(LeafMap):
+    """Leaf map whose tables seal at a tiny pre-compression byte cap.
+
+    ``LeafMap`` has no byte-cap knob (production tables use the 1 GB
+    default), so pin it on every created table — including the ones the
+    recovery paths create internally."""
+
+    def create_table(self, name):
+        table = super().create_table(name)
+        table._max_block_bytes = 4096
+        return table
+
+
+class TestByteCapFallback:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_wide_rows_fall_back_to_exact_and_match(self, tmp_path, clock, backend):
+        """Rows fat enough that the byte cap seals before the row count:
+        the partitioned premise is wrong, the exact path must win out."""
+        backup = DiskBackup(tmp_path / "backup", snapshots=False)
+        source = SmallBlockLeafMap(clock=clock, rows_per_block=500)
+        table = source.get_or_create("events")
+        table.add_rows(
+            {"time": 1000 + i, "host": "x" * 300} for i in range(200)
+        )
+        backup.sync_leafmap(source)
+        assert table.block_count > 1, "byte cap must actually bind"
+
+        serial = SmallBlockLeafMap(clock=clock, rows_per_block=500)
+        recover_leafmap(backup, serial)
+        parallel = SmallBlockLeafMap(clock=clock, rows_per_block=500)
+        replay_leafmap(backup, parallel, workers=3, backend=backend)
+        assert_equivalent(serial, parallel)
+
+
+class TestBudgetBalance:
+    def test_budget_returns_to_zero_on_success(self, tmp_path, clock):
+        backup, _ = build_backup(tmp_path, clock)
+        budget = FootprintBudget(1 << 20)
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        replay_leafmap(backup, restored, workers=4, budget=budget)
+        assert budget.in_flight == 0
+        assert budget.peak_in_flight > 0
+
+    def test_small_budget_serializes_but_completes(self, tmp_path, clock):
+        """A budget smaller than one partition admits requests one at a
+        time (oversized requests run alone) — slow, never stuck."""
+        backup, _ = build_backup(tmp_path, clock, syncs=2)
+        serial = serial_recovery(backup, clock)
+        budget = FootprintBudget(64)
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        replay_leafmap(backup, restored, workers=4, budget=budget)
+        assert budget.in_flight == 0
+        assert_equivalent(serial, restored)
+
+    def test_budget_balanced_after_mid_file_corruption(self, tmp_path, clock):
+        """A mid-file corruption raises out of replay with every
+        outstanding partition's bytes returned to the budget."""
+        backup, _ = build_backup(tmp_path, clock, syncs=3)
+        path = backup.table_file("events")
+        raw = bytearray(path.read_bytes())
+        # Flip a payload byte in the *first* chunk: CRC mismatch with
+        # more data following it is a hard corruption.
+        raw[30] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        budget = FootprintBudget(1 << 20)
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        with pytest.raises(CorruptionError):
+            replay_leafmap(backup, restored, workers=4, budget=budget)
+        assert budget.in_flight == 0
+
+    def test_budget_balanced_after_worker_failure(self, tmp_path, clock):
+        """A decode failure *inside a worker* (bad rows, intact CRC) must
+        abandon cleanly: error propagated, budget back to zero."""
+        backup, _ = build_backup(tmp_path, clock, syncs=1, rows_per_sync=100)
+        # Rewrite the chunk with rows lacking the time column; CRCs are
+        # regenerated, so the parent's scan succeeds and only the
+        # worker's row validation trips.
+        from repro.disk.format import write_chunk, write_file_header
+
+        path = backup.table_file("events")
+        with open(path, "wb") as fh:
+            write_file_header(fh)
+            write_chunk(fh, [{"host": "a"} for _ in range(100)])
+        budget = FootprintBudget(1 << 20)
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        with pytest.raises(Exception, match="time"):
+            replay_leafmap(backup, restored, workers=4, budget=budget)
+        assert budget.in_flight == 0
+
+
+class TestArguments:
+    def test_rejects_bad_workers_and_backend(self, tmp_path, clock):
+        backup, _ = build_backup(tmp_path, clock, syncs=1)
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        with pytest.raises(ValueError, match="worker"):
+            replay_leafmap(backup, restored, workers=0)
+        with pytest.raises(ValueError, match="backend"):
+            replay_leafmap(backup, restored, backend="greenlet")
+
+    def test_requires_empty_leafmap(self, tmp_path, clock):
+        backup, _ = build_backup(tmp_path, clock, syncs=1)
+        occupied = LeafMap(clock=clock, rows_per_block=64)
+        occupied.get_or_create("events")
+        with pytest.raises(RecoveryError, match="empty"):
+            replay_leafmap(backup, occupied)
+
+    def test_engine_rejects_bad_replay_config(self, shm_namespace):
+        with pytest.raises(ValueError, match="replay_workers"):
+            RestartEngine("0", namespace=shm_namespace, replay_workers=0)
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_legacy_rung_fans_out_and_matches_serial(
+        self, shm_namespace, tmp_path, clock, backend
+    ):
+        backup, leafmap = build_backup(tmp_path, clock)
+        snapshot = leafmap.snapshot_rows()
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        report = RestartEngine(
+            "0",
+            namespace=shm_namespace,
+            backup=backup,
+            clock=clock,
+            replay_workers=3,
+            replay_backend=backend,
+        ).restore(restored)
+        assert report.method is RecoveryMethod.DISK
+        assert report.rows == 5 * 700
+        assert restored.snapshot_rows() == snapshot
+
+    def test_single_worker_engine_uses_serial_path(
+        self, shm_namespace, tmp_path, clock
+    ):
+        backup, leafmap = build_backup(tmp_path, clock, syncs=2)
+        restored = LeafMap(clock=clock, rows_per_block=64)
+        report = RestartEngine(
+            "0", namespace=shm_namespace, backup=backup, clock=clock
+        ).restore(restored)
+        assert report.method is RecoveryMethod.DISK
+        assert restored.snapshot_rows() == leafmap.snapshot_rows()
