@@ -1,0 +1,42 @@
+"""Shared ``BENCH_eNN.json`` artifact writer for the benchmark suite.
+
+Every experiment that archives measurements for CI uses the same shape:
+an env var named ``BENCH_<EXPERIMENT>_JSON`` opts in, and the payload
+always carries the experiment id and the host's core count next to the
+experiment-specific fields.  E13–E17 each hand-rolled this; new
+experiments should call :func:`dump_artifact` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def artifact_path(experiment: str) -> str | None:
+    """Where ``experiment``'s JSON artifact goes, or None if not asked."""
+    return os.environ.get(f"BENCH_{experiment.upper()}_JSON")
+
+
+def build_payload(experiment: str, **fields) -> dict:
+    """The common artifact shape: experiment id + cpu_count + fields."""
+    return {
+        "experiment": experiment,
+        "cpu_count": os.cpu_count() or 1,
+        **fields,
+    }
+
+
+def dump_artifact(experiment: str, **fields) -> str | None:
+    """Write the artifact if its env var opts in; returns the path.
+
+    ``dump_artifact("E18", rows=..., routes=...)`` writes the payload to
+    ``$BENCH_E18_JSON`` and is a no-op when the variable is unset (the
+    normal local run).
+    """
+    path = artifact_path(experiment)
+    if not path:
+        return None
+    with open(path, "w") as fh:
+        json.dump(build_payload(experiment, **fields), fh, indent=2)
+    return path

@@ -14,12 +14,12 @@ digest must cross the swap untouched.  Set ``BENCH_E14_JSON`` to a path
 to archive the measurements (CI uploads it as ``BENCH_e14.json``).
 """
 
-import json
 import os
 import time
 
 import pytest
 
+from _payload import dump_artifact
 from repro.server.process_client import LeafProcess, LeafProcessConfig
 
 N_ROWS = 8_000
@@ -129,11 +129,7 @@ def test_upgrade_handoff_old_to_new_process(shm_namespace, tmp_path, record_resu
             f"{seconds:.2f} s wall (scaled), digest matched, "
             f"pid {before['pid']} -> {after['pid']}",
         )
-    artifact = os.environ.get("BENCH_E14_JSON")
-    if artifact:
-        payload = {"experiment": "E14", "rows": N_ROWS, "handoffs": results}
-        with open(artifact, "w") as fh:
-            json.dump(payload, fh, indent=2)
+    dump_artifact("E14", rows=N_ROWS, handoffs=results)
 
 
 @pytest.mark.slow

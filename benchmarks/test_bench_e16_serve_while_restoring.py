@@ -16,10 +16,10 @@ archive the measurements (CI uploads it as ``BENCH_e16.json``).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
+from _payload import dump_artifact
 from repro.core.parallel import ParallelRestartCoordinator
 from repro.query.query import Aggregation, Query
 from repro.server.machine import Machine
@@ -129,16 +129,7 @@ class TestE16ServeWhileRestoring:
                 f"{first_answer_seconds * 1000:.1f} ms to answer "
                 f"(blocking restore {blocking.restore_seconds * 1000:.1f} ms)",
             )
-        artifact = os.environ.get("BENCH_E16_JSON")
-        if artifact:
-            payload = {
-                "experiment": "E16",
-                "rows": LEAVES * ROWS_PER_LEAF,
-                "cpu_count": os.cpu_count() or 1,
-                "backends": results,
-            }
-            with open(artifact, "w") as fh:
-                json.dump(payload, fh, indent=2)
+        dump_artifact("E16", rows=LEAVES * ROWS_PER_LEAF, backends=results)
 
     def test_background_sweep_completes_without_queries(
         self, shm_namespace, tmp_path, record_result

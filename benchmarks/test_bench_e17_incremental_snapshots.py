@@ -24,13 +24,13 @@ collected so far.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from itertools import islice
 
 import pytest
 
+from _payload import dump_artifact
 from repro.columnstore.leafmap import LeafMap
 from repro.disk.backup import DiskBackup
 from repro.disk.recovery import recover_leafmap, recover_leafmap_snapshots
@@ -52,15 +52,7 @@ RESULTS: dict = {}
 
 
 def _dump_artifact() -> None:
-    artifact = os.environ.get("BENCH_E17_JSON")
-    if artifact:
-        payload = {
-            "experiment": "E17",
-            "cpu_count": os.cpu_count() or 1,
-            **RESULTS,
-        }
-        with open(artifact, "w") as fh:
-            json.dump(payload, fh, indent=2)
+    dump_artifact("E17", **RESULTS)
 
 
 def build_corpus(tmp_path, clock):

@@ -84,6 +84,8 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
     namespace = f"reprocli-{uuid.uuid4().hex[:8]}"
     if args.incremental:
         return _bench_incremental(args)
+    if args.replica_tier:
+        return _bench_replica_tier(args, namespace)
     if args.serve_while_restoring:
         return _bench_serve_while_restoring(args, namespace)
     if args.workers is not None:
@@ -122,6 +124,181 @@ def cmd_bench_restart(args: argparse.Namespace) -> int:
         print(f"restore from disk: {disk_restore * 1000:.1f} ms")
         print(f"shared memory was {disk_restore / max(shm_restore, 1e-9):.0f}x faster")
     return 0
+
+
+def _bench_replica_tier(args: argparse.Namespace, namespace: str) -> int:
+    """``bench-restart --replica-tier``: experiment E18.
+
+    One primary leaf, fully synced and mirrored to a standby, restarts
+    through each rung — the wire pull from the replica, the local disk
+    snapshot, and legacy replay — and must produce identical digests.
+    A second replica restart serves queries mid-transfer: the first
+    dashboard answer has to land before 25% of the bytes arrived.
+    """
+    import json as json_module
+    import os
+    import tempfile
+
+    from repro.cluster.replication import ReplicaCatalog
+    from repro.core.engine import RecoveryMethod
+    from repro.disk.backup import DiskBackup
+    from repro.query.query import Aggregation, Query
+    from repro.server.leaf import LeafServer
+    from repro.util.checksum import rows_digest
+    from repro.workloads import service_requests
+
+    rows = args.rows
+    backends = (
+        ["thread", "process"] if args.backend == "both" else [args.backend]
+    )
+    results = []
+    exit_code = 0
+    for backend in backends:
+        with tempfile.TemporaryDirectory() as tmp:
+            ns = f"{namespace}-{backend}"
+            leaf = LeafServer(
+                "cli0",
+                backup=DiskBackup(Path(tmp) / "primary"),
+                namespace=ns,
+                rows_per_block=64,
+            )
+            leaf.start()
+            data = list(service_requests(rows))
+            leaf.add_rows("service_requests", data)
+            leaf.leafmap.seal_all()
+            leaf.sync_to_disk()
+            # Dashboard shape: count over the newest half minute — a
+            # couple of the newest blocks out of the many the leaf holds.
+            newest = data[-1]["time"]
+            dashboard = Query(
+                table="service_requests",
+                start_time=newest - 30,
+                end_time=newest + 1,
+                aggregations=[Aggregation("count", None)],
+            )
+            baseline = rows_digest(leaf.leafmap.snapshot_rows())
+            data_bytes = sum(t.sealed_nbytes for t in leaf.leafmap)
+
+            replica = LeafServer(
+                "cli0r",
+                backup=DiskBackup(Path(tmp) / "replica"),
+                namespace=f"{ns}-rep",
+                rows_per_block=64,
+            )
+            replica.start()
+            catalog = ReplicaCatalog()
+            catalog.assign("cli0", replica)
+            catalog.mirror("cli0", "service_requests", data)
+            source = catalog.session_source("cli0")
+            # The legacy route replays through the selected pool backend
+            # so the digest identity is checked against both.
+            leaf.engine.replay_backend = backend
+            leaf.engine.replay_workers = 2
+
+            timings: dict[str, float] = {}
+            methods: dict[str, str] = {}
+            digests_match = True
+
+            def run_route(name, expected, *, wire, snapshot_tier):
+                nonlocal digests_match
+                leaf.crash()
+                leaf.engine.replica_source = source if wire else None
+                leaf.engine.disk_snapshot_tier = snapshot_tier
+                started = time.perf_counter()
+                leaf.start()
+                timings[name] = time.perf_counter() - started
+                methods[name] = leaf.last_restart_report.method.value
+                if leaf.last_restart_report.method is not expected:
+                    digests_match = False
+                if rows_digest(leaf.leafmap.snapshot_rows()) != baseline:
+                    digests_match = False
+
+            run_route(
+                "replica", RecoveryMethod.REPLICA, wire=True, snapshot_tier=True
+            )
+            run_route(
+                "disk_snapshot",
+                RecoveryMethod.DISK_SNAPSHOT,
+                wire=False,
+                snapshot_tier=True,
+            )
+            run_route(
+                "legacy", RecoveryMethod.DISK, wire=False, snapshot_tier=False
+            )
+
+            # Serve-while-restoring over the wire: queries fault blocks
+            # in on demand ahead of the transfer (``sweep=False`` keeps
+            # the fraction reading deterministic).
+            leaf.engine.replica_source = source
+            leaf.engine.disk_snapshot_tier = True
+            leaf.crash()
+            started = time.perf_counter()
+            leaf.start(serve_while_restoring=True, sweep=False)
+            leaf.query(dashboard)
+            first_answer_seconds = time.perf_counter() - started
+            fraction = leaf.restore_progress().fraction_restored
+            leaf.wait_restored()
+            if rows_digest(leaf.leafmap.snapshot_rows()) != baseline:
+                digests_match = False
+            if leaf.last_restart_report.method is not RecoveryMethod.REPLICA:
+                digests_match = False
+            catalog.close()
+
+            vs_legacy = timings["legacy"] / max(timings["replica"], 1e-9)
+            vs_snapshot = timings["disk_snapshot"] / max(
+                timings["replica"], 1e-9
+            )
+            print(
+                f"[{backend}] {rows:,} rows ({data_bytes / 1e6:.2f} MB): "
+                f"replica wire pull {timings['replica'] * 1000:.1f} ms vs "
+                f"disk snapshot {timings['disk_snapshot'] * 1000:.1f} ms vs "
+                f"legacy replay {timings['legacy'] * 1000:.1f} ms"
+            )
+            print(
+                f"[{backend}] replica tier {vs_legacy:.1f}x the legacy "
+                f"replay; first query answered with {fraction:.1%} of bytes "
+                f"transferred ({first_answer_seconds * 1000:.1f} ms); "
+                f"digests {'identical' if digests_match else 'DIVERGED'}"
+            )
+            if fraction >= 0.25 or not digests_match or vs_legacy < 2.0:
+                exit_code = 1
+            results.append(
+                {
+                    "backend": backend,
+                    "rows": rows,
+                    "compressed_bytes": data_bytes,
+                    "restore_seconds": timings,
+                    "methods": methods,
+                    "speedup_vs_legacy": vs_legacy,
+                    "speedup_vs_disk_snapshot": vs_snapshot,
+                    "fraction_restored_at_first_query": fraction,
+                    "first_answer_seconds": first_answer_seconds,
+                    "digests_match": digests_match,
+                }
+            )
+    profile = paper_profile()
+    sim_speedup = profile.replica_restore_speedup(1)
+    print(
+        f"simulator, paper-scale leaf: replica pull "
+        f"{_fmt_duration(profile.replica_restart_seconds())} vs disk "
+        f"snapshot {_fmt_duration(profile.disk_snapshot_restart_seconds(1))} "
+        f"({sim_speedup:.1f}x; the local run hides the disk bottleneck "
+        f"behind the page cache)"
+    )
+    if sim_speedup < 2.0:
+        exit_code = 1
+    if args.json:
+        payload = {
+            "experiment": "E18",
+            "rows": rows,
+            "cpu_count": os.cpu_count() or 1,
+            "sim_replica_speedup_vs_disk_snapshot": sim_speedup,
+            "backends": results,
+        }
+        with open(args.json, "w") as fh:
+            json_module.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return exit_code
 
 
 def _bench_disk_tier(args: argparse.Namespace, namespace: str) -> int:
@@ -820,6 +997,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serve-while-restoring", action="store_true",
                    help="experiment E16: answer queries mid-restore via "
                         "on-demand block fault-in, vs the blocking restore")
+    p.add_argument("--replica-tier", action="store_true",
+                   help="experiment E18: pipelined over-the-wire restore "
+                        "from a standby replica vs the local disk rungs, "
+                        "incl. serve-while-restoring over the wire")
     p.add_argument("--disk-tier", action="store_true",
                    help="compare legacy row-format replay against the "
                    "shm-format snapshot tier (E12), incl. torn-file fallback")

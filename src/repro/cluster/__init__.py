@@ -11,12 +11,22 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.dashboard import Dashboard, DashboardSample, render_dashboard
 from repro.cluster.deploy import ProcessDeployment, ProcessRolloverResult
 from repro.cluster.monitor import RolloverMonitor, RolloverProgress, format_progress
+from repro.cluster.replication import (
+    ReplicaBlockServer,
+    ReplicaCatalog,
+    ReplicaFetchSession,
+    snapshot_leafmap,
+)
 from repro.cluster.rollover import RolloverCoordinator, RolloverResult
 
 __all__ = [
     "CanaryDeployment",
     "CanaryResult",
     "Cluster",
+    "ReplicaBlockServer",
+    "ReplicaCatalog",
+    "ReplicaFetchSession",
+    "snapshot_leafmap",
     "Dashboard",
     "DashboardSample",
     "ProcessDeployment",

@@ -11,6 +11,8 @@ import random
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro.cluster.replication import DEFAULT_STREAMS, ReplicaCatalog
+from repro.disk.backup import DiskBackup
 from repro.ingest.scribe import ScribeLog
 from repro.ingest.tailer import Tailer
 from repro.query.query import Query, QueryResult
@@ -35,6 +37,8 @@ class Cluster:
         rows_per_block: int | None = None,
         version: str = "v1",
         rng: random.Random | None = None,
+        replication: bool = False,
+        replica_streams: int = DEFAULT_STREAMS,
     ) -> None:
         if n_machines < 1:
             raise ValueError("a cluster needs at least one machine")
@@ -64,6 +68,42 @@ class Cluster:
         #: A flat aggregator over every leaf, kept for equivalence tests
         #: (tree and flat merges must agree).
         self.flat_aggregator = Aggregator(self.leaves)
+        #: Table-level replication (the replica recovery tier).  Each
+        #: primary gets a standby leaf hosted on the *next* machine —
+        #: surviving a machine-wide outage of the primary's host — in
+        #: its own shm namespace and backup directory, outside the
+        #: machine aggregators' fan-out and the tailers' routing pool.
+        self.replica_catalog: ReplicaCatalog | None = None
+        self.replica_leaves: list[LeafServer] = []
+        if replication:
+            self.replica_catalog = ReplicaCatalog(streams=replica_streams)
+            root = Path(backup_root)
+            n = len(self.machines)
+            for index, machine in enumerate(self.machines):
+                host = self.machines[(index + 1) % n]
+                for leaf in machine.leaves:
+                    replica = LeafServer(
+                        leaf_id=f"{leaf.leaf_id}r",
+                        backup=DiskBackup(
+                            root
+                            / f"machine-{host.machine_id}"
+                            / f"replica-{leaf.leaf_id}"
+                        ),
+                        namespace=f"{namespace}-rep",
+                        capacity_bytes=capacity_bytes,
+                        clock=self.clock,
+                        rows_per_block=rows_per_block,
+                        version=version,
+                        machine_id=host.machine_id,
+                    )
+                    self.replica_leaves.append(replica)
+                    self.replica_catalog.assign(leaf.leaf_id, replica)
+                    leaf.engine.replica_source = (
+                        self.replica_catalog.session_source(leaf.leaf_id)
+                    )
+            for machine in self.machines:
+                machine.aggregator.replica_router = self.replica_catalog.replica_for
+            self.flat_aggregator.replica_router = self.replica_catalog.replica_for
 
     # ------------------------------------------------------------------
     # Topology
@@ -92,6 +132,8 @@ class Cluster:
     def start_all(self) -> None:
         for machine in self.machines:
             machine.start_all()
+        for replica in self.replica_leaves:
+            replica.start()
 
     @property
     def availability(self) -> float:
@@ -117,6 +159,11 @@ class Cluster:
                 batch_rows=batch_rows,
                 rng=self._rng,
                 clock=self.clock,
+                mirror=(
+                    self.replica_catalog.mirror
+                    if self.replica_catalog is not None
+                    else None
+                ),
             )
             self._tailers[table] = tailer
         return tailer
@@ -145,6 +192,11 @@ class Cluster:
     def sync_all(self) -> int:
         """A cluster-wide disk sync point; returns rows written."""
         return sum(leaf.sync_to_disk() for leaf in self.leaves if leaf.is_alive)
+
+    def close(self) -> None:
+        """Release replication resources (block servers, sockets)."""
+        if self.replica_catalog is not None:
+            self.replica_catalog.close()
 
     def total_rows(self) -> int:
         return sum(leaf.leafmap.row_count for leaf in self.leaves)

@@ -55,6 +55,7 @@ from enum import Enum
 from typing import Callable
 
 from repro.columnstore.leafmap import LeafMap
+from repro.columnstore.rowblock import RowBlock
 from repro.core.parallel import FootprintBudget
 from repro.core.states import (
     LeafBackupMachine,
@@ -103,6 +104,11 @@ FAULT_POINTS = (
     # Serve-while-restoring boundaries (lazy restore only):
     "restore:publish_directory",
     "restore:fault_block",
+    # Replica-rung protocol phases (wire restore only):
+    "replica:handshake",
+    "replica:stream",
+    "replica:block",
+    "replica:adopt",
 )
 
 
@@ -110,6 +116,7 @@ class RecoveryMethod(Enum):
     """How a restore obtained its data."""
 
     SHARED_MEMORY = "shared_memory"
+    REPLICA = "replica"
     DISK_SNAPSHOT = "disk_snapshot"
     DISK = "disk"
 
@@ -138,6 +145,12 @@ class RestartReport:
     memory_attempt_row_blocks: int = 0
     memory_attempt_bytes: int = 0
     memory_attempt_rows: int = 0
+    #: The replica rung was entered and died on a wire fault; the disk
+    #: rungs finished the restore.  The attempt counters record how far
+    #: the wire pull got before the fall.
+    fell_back_from_replica: bool = False
+    replica_attempt_row_blocks: int = 0
+    replica_attempt_bytes: int = 0
     #: Serve-while-restoring: set on reports produced by a lazy restore.
     lazy: bool = False
     bytes_total: int = 0
@@ -190,6 +203,13 @@ class RestartEngine:
         worker fans the row-sealing work across a pool
         (:func:`~repro.disk.replay.replay_leafmap`, thread or process
         backend) with digests identical to the single-stream replay.
+    replica_source:
+        ``f() -> ReplicaFetchSession | None``, the REPLICA_RECOVERY
+        rung's discovery hook (the cluster wires a
+        :meth:`~repro.cluster.replication.ReplicaCatalog.session_source`
+        here).  Called lazily at ladder time — including inside a forked
+        restore worker — whenever shared memory is unusable; returning
+        ``None`` (no replica alive) skips straight to the disk rungs.
     """
 
     def __init__(
@@ -206,6 +226,7 @@ class RestartEngine:
         disk_snapshot_tier: bool = True,
         replay_workers: int = 1,
         replay_backend: str = "thread",
+        replica_source: Callable[[], object] | None = None,
     ) -> None:
         if replay_workers < 1:
             raise ValueError("replay_workers must be positive")
@@ -216,6 +237,7 @@ class RestartEngine:
         self.disk_snapshot_tier = disk_snapshot_tier
         self.replay_workers = replay_workers
         self.replay_backend = replay_backend
+        self.replica_source = replica_source
         self.tracker = tracker or MemoryTracker()
         self.clock = clock or SystemClock()
         self.budget = budget
@@ -589,12 +611,24 @@ class RestartEngine:
         The handle publishes the block directory before returning, so
         the caller can begin serving immediately; blocks fault in as
         queries touch them and via the handle's ``sweep_one``.  When
-        shared memory is unusable the disk ladder runs blocking inside
-        this call (serve-while-restoring is an shm-tier property) and
-        the handle comes back already done.
+        shared memory is unusable but a replica session opens, the
+        directory comes from the replica's wire catalog instead and
+        blocks fault in over the network
+        (:class:`~repro.core.replicarestore.ReplicaRestore`).  With
+        neither source the disk ladder runs blocking inside this call —
+        which itself includes the blocking replica rung — and the handle
+        comes back already done.
         """
         from repro.core.lazyrestore import LazyRestore
 
+        if not (memory_recovery_enabled and self.shm_state_valid()):
+            from repro.core.replicarestore import ReplicaRestore
+
+            handle = ReplicaRestore.begin(
+                self, leafmap, on_disk_fallback=on_disk_fallback
+            )
+            if handle is not None:
+                return handle
         return LazyRestore.begin(
             self,
             leafmap,
@@ -718,13 +752,21 @@ class RestartEngine:
             self._fault("restore:table")
 
     def _recover_from_disk(
-        self, leafmap: LeafMap, report: RestartReport, leaf: LeafRestoreMachine
+        self,
+        leafmap: LeafMap,
+        report: RestartReport,
+        leaf: LeafRestoreMachine,
+        try_replica: bool = True,
     ) -> None:
-        """The disk side of the recovery ladder: snapshot tier, then legacy.
+        """The lower recovery ladder: replica, snapshot tier, then legacy.
 
-        Owns the leaf-machine transitions for both disk rungs so the
-        report's state history records exactly which tiers ran.
+        Owns the leaf-machine transitions for these rungs so the report's
+        state history records exactly which tiers ran.  ``try_replica``
+        is cleared by callers that already burned a replica session (a
+        serve-while-restoring wire fault must not retry the wire).
         """
+        if try_replica and self._try_replica_restore(leafmap, report, leaf):
+            return
         if self.backup is None:
             raise RecoveryError(
                 f"leaf {self.leaf_id}: no valid shared memory state and no "
@@ -769,6 +811,139 @@ class RestartEngine:
             self._track_heap_alloc(table.nbytes)
         report.method = RecoveryMethod.DISK
 
+    def _try_replica_restore(
+        self, leafmap: LeafMap, report: RestartReport, leaf: LeafRestoreMachine
+    ) -> bool:
+        """The REPLICA_RECOVERY rung; True when the wire pull finished.
+
+        Any failure — unreachable replica, dropped connection, torn
+        frame, decode error — is all-or-nothing: every table this rung
+        installed leaves through the tracker, the attempt counters move
+        to the report's ``replica_attempt_*`` fields, and the caller
+        proceeds to the disk rungs with balances intact.
+        """
+        source = self.replica_source
+        if source is None:
+            return False
+        session = None
+        try:
+            self._fault("replica:handshake")
+            session = source()
+            if session is None:
+                return False
+            session.fault = self._fault
+            leaf.transition(LeafRestoreState.REPLICA_RECOVERY)
+            self._restore_from_replica(session, leafmap, report)
+            report.method = RecoveryMethod.REPLICA
+            return True
+        except Exception as exc:
+            self._drop_restored_tables(leafmap)
+            if report.failure_reason is None:
+                report.failure_reason = f"{type(exc).__name__}: {exc}"
+            report.replica_attempt_row_blocks = report.row_blocks
+            report.replica_attempt_bytes = report.bytes_copied
+            report.tables = 0
+            report.row_blocks = 0
+            report.rbc_copies = 0
+            report.bytes_copied = 0
+            report.rows = 0
+            report.fell_back_from_replica = True
+            return False
+        finally:
+            if session is not None:
+                session.close()
+
+    def _restore_from_replica(
+        self, session, leafmap: LeafMap, report: RestartReport
+    ) -> None:
+        """Pipelined, heat-ordered pull of every sealed block.
+
+        ``session.streams`` fetch threads each run fetch → unpack →
+        verify (the CRC and decode work release the GIL, so the streams
+        genuinely overlap); tables then install all-or-nothing in
+        catalog order once every block is home.  Hot tables — by the
+        decoded-column cache's heat counters — go first, so a fault that
+        kills the session late still pulled the data queries want most.
+        """
+        from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+
+        cache = leafmap.column_cache
+        heat = cache.column_heat() if cache is not None else {}
+
+        def table_heat(wire_table) -> int:
+            names = {
+                name for block in wire_table.blocks for name in block.columns
+            }
+            return sum(heat.get(name, 0) for name in names)
+
+        order = sorted(
+            range(len(session.tables)),
+            key=lambda i: (-table_heat(session.tables[i]), i),
+        )
+        descriptors = [
+            desc for i in order for desc in session.tables[i].blocks
+        ]
+
+        slots: dict[str, list] = {
+            t.name: [None] * len(t.blocks) for t in session.tables
+        }
+
+        def on_block(table: str, index: int, payload: bytes) -> None:
+            # The in-flight window: wire bytes and the decoded block
+            # coexist until the copy below lands in a table.
+            if self.budget is not None:
+                self.budget.acquire(len(payload))
+            try:
+                block = RowBlock.unpack(payload, copy=True)
+                block.verify()
+            finally:
+                if self.budget is not None:
+                    self.budget.release(len(payload))
+            slots[table][index] = block
+
+        # Strided slices keep the heat order: every stream starts on the
+        # hottest blocks of its share, and each stream amortizes the
+        # round trip over its whole run via windowed pipelining.
+        streams = max(1, session.streams)
+        shares = [
+            [(d.table, d.index) for d in descriptors[i::streams]]
+            for i in range(streams)
+        ]
+        executor = ThreadPoolExecutor(
+            max_workers=streams, thread_name_prefix="replica-fetch"
+        )
+        try:
+            futures = [
+                executor.submit(session.fetch_many, share, on_block)
+                for share in shares
+                if share
+            ]
+            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (f for f in done if f.exception() is not None), None
+            )
+            if failed is not None:
+                raise failed.exception()
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        for wire_table in session.tables:
+            machine = TableRestoreMachine()
+            machine.transition(TableRestoreState.REPLICA_RECOVERY)
+            table = leafmap.create_table(wire_table.name)
+            table.replace_blocks(slots[wire_table.name])
+            table.total_rows_ingested = wire_table.rows_ingested
+            table.total_rows_expired = wire_table.rows_expired
+            self._track_heap_alloc(table.sealed_nbytes)
+            report.tables += 1
+            report.row_blocks += table.block_count
+            report.rbc_copies += sum(
+                len(block.schema) for block in table.blocks
+            )
+            report.bytes_copied += table.sealed_nbytes
+            report.rows += table.row_count
+            machine.transition(TableRestoreState.ALIVE)
+            self._fault("replica:adopt")
+
     def _snapshot_tier_usable(self) -> bool:
         """Pre-check before entering the snapshot tier at all.
 
@@ -798,8 +973,10 @@ class RestartEngine:
             table.total_rows_expired = snap.rows_expired
             # "Any needed deletions are made after recovery" — expiry
             # recorded after the snapshot was taken is re-applied here,
-            # before the blocks are charged to the heap.
-            cutoff = self.backup.expire_cutoff(table_name)
+            # before the blocks are charged to the heap.  A cutoff the
+            # snapshot already reflects stays un-applied, else rows that
+            # were buffered at record time would over-expire.
+            cutoff = self.backup.pending_expire_cutoff(table_name)
             if cutoff:
                 table.expire_before(cutoff)
             self._track_heap_alloc(table.sealed_nbytes)

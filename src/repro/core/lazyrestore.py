@@ -137,6 +137,11 @@ class LazyRestore:
     drive a restorer without a leaf around it.
     """
 
+    #: Where pending blocks fault in from; the leaf server picks its
+    #: serving status off this (``repro.core.replicarestore`` says
+    #: ``"replica"``).
+    source = "shm"
+
     def __init__(
         self,
         engine: "RestartEngine",

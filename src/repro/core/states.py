@@ -21,6 +21,15 @@ Four machines:
                    MEMORY_SERVING → ALIVE                     (all blocks in)
                    MEMORY_SERVING → DISK_SNAPSHOT_RECOVERY    (fault-in error)
                    MEMORY_SERVING → DISK_RECOVERY             (fault-in error)
+    The replica tier slots between shared memory and the disk rungs:
+    when shm is gone but a sibling replica is alive, blocks stream over
+    the wire instead of replaying from local disk:
+                   INIT → REPLICA_RECOVERY                    (no shm, replica up)
+                   MEMORY_RECOVERY → REPLICA_RECOVERY         (exception)
+                   MEMORY_SERVING → REPLICA_RECOVERY          (fault-in error)
+                   REPLICA_RECOVERY → ALIVE                   (all blocks pulled)
+                   REPLICA_RECOVERY → DISK_SNAPSHOT_RECOVERY  (wire fault)
+                   REPLICA_RECOVERY → DISK_RECOVERY           (wire fault)
 (c) table backup:  ALIVE → PREPARE → COPY_TO_SHM → DONE
     (PREPARE rejects new requests, kills deletes in progress, waits for
     adds/queries in flight, flushes data to disk)
@@ -51,6 +60,8 @@ class LeafRestoreState(Enum):
     #: Block directory published; queries fault blocks in on demand
     #: while the background sweep fills the remainder.
     MEMORY_SERVING = "memory_serving"
+    #: Sealed blocks streaming over the wire from a sibling replica.
+    REPLICA_RECOVERY = "replica_recovery"
     DISK_SNAPSHOT_RECOVERY = "disk_snapshot_recovery"
     DISK_RECOVERY = "disk_recovery"
     ALIVE = "alive"
@@ -66,6 +77,7 @@ class TableBackupState(Enum):
 class TableRestoreState(Enum):
     INIT = "init"
     MEMORY_RECOVERY = "memory_recovery"
+    REPLICA_RECOVERY = "replica_recovery"
     DISK_SNAPSHOT_RECOVERY = "disk_snapshot_recovery"
     DISK_RECOVERY = "disk_recovery"
     ALIVE = "alive"
@@ -143,19 +155,27 @@ class LeafRestoreMachine(StateMachine[LeafRestoreState]):
             {
                 LeafRestoreState.INIT: {
                     LeafRestoreState.MEMORY_RECOVERY,
+                    LeafRestoreState.REPLICA_RECOVERY,  # no shm, replica up
                     LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # no shm state
                     LeafRestoreState.DISK_RECOVERY,  # memory recovery disabled
                 },
                 LeafRestoreState.MEMORY_RECOVERY: {
                     LeafRestoreState.ALIVE,
                     LeafRestoreState.MEMORY_SERVING,  # directory published
+                    LeafRestoreState.REPLICA_RECOVERY,  # exception
                     LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # exception
                     LeafRestoreState.DISK_RECOVERY,  # exception
                 },
                 LeafRestoreState.MEMORY_SERVING: {
                     LeafRestoreState.ALIVE,  # every block faulted in
+                    LeafRestoreState.REPLICA_RECOVERY,  # fault-in error
                     LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # fault-in error
                     LeafRestoreState.DISK_RECOVERY,  # fault-in error
+                },
+                LeafRestoreState.REPLICA_RECOVERY: {
+                    LeafRestoreState.ALIVE,  # every block pulled off the wire
+                    LeafRestoreState.DISK_SNAPSHOT_RECOVERY,  # wire fault
+                    LeafRestoreState.DISK_RECOVERY,  # wire fault
                 },
                 LeafRestoreState.DISK_SNAPSHOT_RECOVERY: {
                     LeafRestoreState.ALIVE,
@@ -191,8 +211,12 @@ class TableRestoreMachine(StateMachine[TableRestoreState]):
             {
                 TableRestoreState.INIT: {
                     TableRestoreState.MEMORY_RECOVERY,
+                    TableRestoreState.REPLICA_RECOVERY,
                     TableRestoreState.DISK_SNAPSHOT_RECOVERY,
                     TableRestoreState.DISK_RECOVERY,
+                },
+                TableRestoreState.REPLICA_RECOVERY: {
+                    TableRestoreState.ALIVE,
                 },
                 TableRestoreState.MEMORY_RECOVERY: {
                     TableRestoreState.ALIVE,

@@ -217,6 +217,55 @@ class DiskBackup:
     def expire_cutoff(self, table_name: str) -> int:
         return self._manifest.get(table_name, {}).get("expire_before", 0)
 
+    def rows_expired(self, table_name: str) -> int | None:
+        """The live table's expired-row count as of the last record/sync.
+
+        ``None`` for manifests written before the count was tracked;
+        legacy replay then falls back to filtering rows by the timestamp
+        cutoff instead of trimming by count.
+        """
+        return self._manifest.get(table_name, {}).get("rows_expired")
+
+    def unapplied_expire_cutoff(self, table_name: str) -> int:
+        """A recorded cutoff the live table has not applied (pure intent).
+
+        Recorded via :meth:`record_expiry` *without* a row count, these
+        are deletion intents in the paper's sense — "any needed
+        deletions are made after recovery" — and every recovery route
+        must make them, no matter how fresh its source state is.
+        """
+        entry = self._manifest.get(table_name, {})
+        cutoff = entry.get("expire_before", 0)
+        if cutoff > entry.get("expire_applied", 0):
+            return cutoff
+        return 0
+
+    def pending_expire_cutoff(self, table_name: str) -> int:
+        """The expiry cutoff snapshot recovery still needs to re-apply.
+
+        An intent-only cutoff (never applied live) is always pending.
+        An applied cutoff is pending only when it was recorded at or
+        after the generation the snapshot chain was taken at — i.e. the
+        snapshot predates the live expiry run.  A cutoff applied
+        *before* the snapshot generation is already reflected in the
+        snapshot's blocks; re-applying it would over-expire rows that
+        were still buffered when the cutoff ran and only sealed (and
+        snapshotted) afterwards.  Manifests without an ``expire_gen``
+        predate the distinction and keep the always-re-apply behavior.
+        """
+        entry = self._manifest.get(table_name)
+        if not entry:
+            return 0
+        cutoff = entry.get("expire_before", 0)
+        if not cutoff:
+            return 0
+        if cutoff > entry.get("expire_applied", 0):
+            return cutoff
+        gen = entry.get("expire_gen")
+        if gen is None or gen >= entry.get("snapshot_gen", 0):
+            return cutoff
+        return 0
+
     def sync_generation(self, table_name: str) -> int:
         """Monotone counter bumped whenever a table's synced state changes."""
         return self._manifest.get(table_name, {}).get("sync_gen", 0)
@@ -326,6 +375,14 @@ class DiskBackup:
                 os.fsync(fh.fileno())
             entry["synced_rows"] = total
             entry["sync_gen"] = entry.get("sync_gen", 0) + 1
+            changed = True
+        # Keep the replay trim count in step with the live table.  The
+        # count alone never bumps the sync generation or invalidates the
+        # snapshot — it only tells legacy replay how many leading ingest
+        # positions the live table had already dropped.
+        known_expired = entry.get("rows_expired")
+        if known_expired is None or expired > known_expired:
+            entry["rows_expired"] = expired
             changed = True
         stale: list[Path] = []
         if snapshot and table.buffered_row_count == 0:
@@ -525,15 +582,42 @@ class DiskBackup:
         """Sync every table; returns total rows written."""
         return sum(self.sync_table(table) for table in leafmap)
 
-    def record_expiry(self, table_name: str, cutoff_time: int) -> None:
+    def record_expiry(
+        self,
+        table_name: str,
+        cutoff_time: int,
+        rows_expired: int | None = None,
+    ) -> None:
         """Advance a table's expiry watermark (never backwards).
 
-        Does not invalidate the snapshot: the cutoff is re-applied after
-        snapshot recovery, exactly as it is after legacy replay.
+        Does not invalidate the snapshot: a cutoff still pending against
+        the snapshot generation is re-applied after snapshot recovery,
+        exactly as it is after legacy replay.  Callers that just ran
+        ``Table.expire_before`` pass the table's ``total_rows_expired``
+        so legacy replay can trim by *count*, reproducing the live
+        table's block-granular expiry exactly — including rows below the
+        cutoff that survive inside a straddling block.
         """
         entry = self._entry(table_name)
+        changed = False
         if cutoff_time > entry["expire_before"]:
             entry["expire_before"] = cutoff_time
+            changed = True
+        if rows_expired is not None:
+            current = entry.get("rows_expired")
+            if current is None or rows_expired > current:
+                entry["rows_expired"] = rows_expired
+                changed = True
+            if cutoff_time > entry.get("expire_applied", 0):
+                entry["expire_applied"] = cutoff_time
+                changed = True
+            if changed:
+                # The live table just ran this cutoff, so the record is
+                # pending against any snapshot taken at or before the
+                # current sync generation — and folded into any later
+                # one.
+                entry["expire_gen"] = entry.get("sync_gen", 0)
+        if changed:
             self._save_manifest()
 
     # ------------------------------------------------------------------

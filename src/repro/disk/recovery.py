@@ -23,9 +23,37 @@ from repro.types import TIME_COLUMN, ColumnValue
 def recover_table_rows(
     backup: DiskBackup, table_name: str
 ) -> Iterator[dict[str, ColumnValue]]:
-    """Yield a table's surviving rows (expiry watermark applied)."""
+    """Yield a table's surviving rows (expiry watermark applied).
+
+    When the manifest carries the live table's expired-row count, the
+    expiry is re-applied by *count*: the trailing ``synced_rows -
+    rows_expired`` log rows survive, which reproduces the live table's
+    block-granular expiry exactly — including rows below the cutoff
+    that the live table kept inside a straddling block.  Manifests from
+    before the count was tracked fall back to filtering rows by the
+    timestamp cutoff.
+    """
     path = backup.table_file(table_name)
     if not path.exists():
+        return
+    rows_expired = backup.rows_expired(table_name)
+    if rows_expired is not None:
+        keep = max(0, backup.synced_rows(table_name) - rows_expired)
+        if keep == 0:
+            return
+        tail: list[dict[str, ColumnValue]] = []
+        with open(path, "rb") as fh:
+            for chunk_rows in read_table_chunks(fh):
+                tail.extend(chunk_rows)
+                if len(tail) > keep:
+                    del tail[: len(tail) - keep]
+        # A deletion intent recorded but never run live is made here,
+        # on top of the count trim, exactly as the paper's Figure 5
+        # caption requires.
+        intent = backup.unapplied_expire_cutoff(table_name)
+        for row in tail:
+            if row.get(TIME_COLUMN, 0) >= intent:
+                yield row
         return
     cutoff = backup.expire_cutoff(table_name)
     with open(path, "rb") as fh:
@@ -190,7 +218,7 @@ def recover_leafmap_snapshots(
         table.replace_blocks(snap.blocks)
         table.total_rows_ingested = snap.rows_ingested
         table.total_rows_expired = snap.rows_expired
-        cutoff = backup.expire_cutoff(table_name)
+        cutoff = backup.pending_expire_cutoff(table_name)
         if cutoff:
             table.expire_before(cutoff)
         total += table.row_count

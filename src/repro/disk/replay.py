@@ -375,7 +375,13 @@ def replay_leafmap(
         for table_name in backup.table_names:
             table = leafmap.create_table(table_name)
             count: int | None = None
-            if backup.expire_cutoff(table_name) == 0:
+            rows_expired = backup.rows_expired(table_name)
+            trimmed = (
+                (rows_expired > 0 or backup.unapplied_expire_cutoff(table_name) != 0)
+                if rows_expired is not None
+                else backup.expire_cutoff(table_name) != 0
+            )
+            if not trimmed:
                 count = _replay_table_partitioned(
                     backup, table, executor, backend, budget, clock, workers
                 )

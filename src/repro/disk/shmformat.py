@@ -284,7 +284,12 @@ def recover_leafmap_shm_format(
         table.total_rows_ingested = snap.rows_ingested
         table.total_rows_expired = snap.rows_expired
         if backup is not None:
-            cutoff = backup.expire_cutoff(snap.table_name)
+            pending = getattr(backup, "pending_expire_cutoff", None)
+            cutoff = (
+                pending(snap.table_name)
+                if pending is not None
+                else backup.expire_cutoff(snap.table_name)
+            )
             if cutoff:
                 table.expire_before(cutoff)
         total += table.row_count

@@ -63,6 +63,17 @@ class SnapshotStaleError(RecoveryError):
     """
 
 
+class ReplicaWireError(RecoveryError):
+    """The replica block stream failed mid-session.
+
+    Raised by the replication wire layer when a frame is malformed, a
+    connection drops, the replica answers with an ERROR frame, or a
+    session token is rejected.  The recovery ladder treats this exactly
+    like a stale snapshot: abandon the replica rung all-or-nothing and
+    route down to the local disk rungs — never data loss.
+    """
+
+
 class ShutdownTimeout(ReproError):
     """A clean shutdown overran its deadline and was killed.
 

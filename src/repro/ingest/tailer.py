@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import RoutingError
 from repro.ingest.scribe import ScribeLog
@@ -51,6 +52,7 @@ class Tailer:
         max_pair_tries: int = DEFAULT_MAX_PAIR_TRIES,
         rng: random.Random | None = None,
         clock: Clock | None = None,
+        mirror: Callable[[str, str, list], None] | None = None,
     ) -> None:
         if batch_rows < 1:
             raise ValueError("batch_rows must be positive")
@@ -68,6 +70,11 @@ class Tailer:
         self._cursor = 0
         self._last_flush = self._clock.now()
         self.stats = TailerStats()
+        #: Called as ``mirror(leaf_id, table, rows)`` after each
+        #: successful primary delivery; table-level replication hangs
+        #: off this hook so the replica sees exactly the acknowledged
+        #: batches, in order.
+        self._mirror = mirror
 
     # ------------------------------------------------------------------
     # Routing
@@ -122,6 +129,8 @@ class Tailer:
             return 0
         leaf = self.choose_leaf()
         delivered = leaf.add_rows(self.table, rows)
+        if self._mirror is not None:
+            self._mirror(leaf.leaf_id, self.table, rows)
         # Advance the cursor only after a successful delivery: a leaf
         # that died mid-send leaves the batch unacknowledged and the rows
         # are re-read (at-least-once, like the real pipeline).
@@ -155,6 +164,8 @@ class Tailer:
                     break
                 leaf = self.choose_leaf()
                 sent = leaf.add_rows(self.table, rows)
+                if self._mirror is not None:
+                    self._mirror(leaf.leaf_id, self.table, rows)
                 self._cursor = new_cursor
                 self.stats.batches_sent += 1
                 self.stats.rows_sent += sent

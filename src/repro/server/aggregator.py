@@ -9,8 +9,11 @@ restarts tolerable in the first place.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import StateError
 from repro.query.aggregate import merge_leaf_results
+from repro.query.execute import LeafExecution
 from repro.query.query import Query, QueryResult
 from repro.server.leaf import LeafServer
 
@@ -22,10 +25,50 @@ class Aggregator:
     aggregator merges its local leaves' partials, and a root aggregator
     merges the machine-level partials — Figure 1's "Query aggregator /
     Leaf" structure.
+
+    With a ``replica_router`` (``leaf_id -> LeafServer | None``) set, a
+    leaf that cannot answer — mid-restart, down — has its share of the
+    query answered by its table-level replica instead, so results during
+    a restart window stay *complete* rather than partial.
     """
 
-    def __init__(self, leaves: list[LeafServer]) -> None:
+    def __init__(
+        self,
+        leaves: list[LeafServer],
+        replica_router: Callable[[str], LeafServer | None] | None = None,
+    ) -> None:
         self._leaves = list(leaves)
+        self.replica_router = replica_router
+        #: How many leaf-queries were answered by a replica stand-in.
+        self.failovers = 0
+
+    def _execute_with_failover(
+        self, leaf: LeafServer, query: Query
+    ) -> LeafExecution | None:
+        """Run ``query`` on ``leaf``, or on its replica when it cannot.
+
+        Returns ``None`` only when neither the primary nor a routed
+        replica is willing — the caller counts that as a non-response.
+        """
+        if leaf.accepts_queries:
+            try:
+                return leaf.query(query)
+            except StateError:
+                # The leaf began restarting between the gate check and
+                # the call; fall through to the replica, if any.
+                pass
+        router = self.replica_router
+        if router is None:
+            return None
+        replica = router(leaf.leaf_id)
+        if replica is None or not replica.accepts_queries:
+            return None
+        try:
+            execution = replica.query(query)
+        except StateError:
+            return None
+        self.failovers += 1
+        return execution
 
     @property
     def leaves(self) -> list[LeafServer]:
@@ -45,14 +88,10 @@ class Aggregator:
         rows_scanned = 0
         blocks_pruned = 0
         for leaf in self._leaves:
-            if not leaf.accepts_queries:
-                continue
-            try:
-                execution = leaf.query(query)
-            except StateError:
-                # The leaf began restarting between the gate check and
-                # the call; it contributes nothing, like any other
-                # non-accepting leaf, and coverage reflects it.
+            execution = self._execute_with_failover(leaf, query)
+            if execution is None:
+                # No primary and no replica stand-in: the leaf
+                # contributes nothing and coverage reflects it.
                 continue
             partials.append(execution.partial)
             responded += 1
@@ -82,13 +121,8 @@ class Aggregator:
         merged: LeafPartial = {}
         responded = 0
         for leaf in self._leaves:
-            if not leaf.accepts_queries:
-                continue
-            try:
-                execution = leaf.query(query)
-            except StateError:
-                # Same race as in query(): the leaf flipped to a
-                # non-serving status after the gate check.
+            execution = self._execute_with_failover(leaf, query)
+            if execution is None:
                 continue
             responded += 1
             for group, states in execution.partial.items():

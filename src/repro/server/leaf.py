@@ -19,6 +19,9 @@ Service status drives what a leaf will do (paper, Figure 5 and Section
   the blocks they touch, a background sweep fills the rest hottest
   columns first — so the leaf accepts adds *and* queries while most of
   its bytes still sit in shared memory.
+- ``RECOVERING_REPLICA_SERVING``: the same serving window, but pending
+  blocks fault in *over the wire* from a sibling replica leaf instead of
+  from shared memory (the replica recovery rung).
 - ``SHUTTING_DOWN``: rejects new work, finishes what is in flight.
 - ``DOWN``: the process is gone.
 """
@@ -56,6 +59,7 @@ class LeafStatus(Enum):
     RECOVERING_DISK = "recovering_disk"
     RECOVERING_MEMORY = "recovering_memory"
     RECOVERING_MEMORY_SERVING = "recovering_memory_serving"
+    RECOVERING_REPLICA_SERVING = "recovering_replica_serving"
     ALIVE = "alive"
     SHUTTING_DOWN = "shutting_down"
     DOWN = "down"
@@ -202,7 +206,14 @@ class LeafServer:
                 self.status = LeafStatus.ALIVE
                 return restorer.report
             self._restorer = restorer
-            self.status = LeafStatus.RECOVERING_MEMORY_SERVING
+            # The engine hands back whichever restorer its ladder chose;
+            # the serving status advertises where pending blocks come
+            # from (shared memory or a sibling replica's wire session).
+            self.status = (
+                LeafStatus.RECOVERING_REPLICA_SERVING
+                if getattr(restorer, "source", "shm") == "replica"
+                else LeafStatus.RECOVERING_MEMORY_SERVING
+            )
             if sweep:
                 self._sweep_thread = threading.Thread(
                     target=self._sweep_loop,
@@ -247,6 +258,7 @@ class LeafServer:
         self.last_restart_report = restorer.report
         if self.status in (
             LeafStatus.RECOVERING_MEMORY_SERVING,
+            LeafStatus.RECOVERING_REPLICA_SERVING,
             LeafStatus.RECOVERING_DISK,
             LeafStatus.RECOVERING_MEMORY,
         ):
@@ -405,6 +417,7 @@ class LeafServer:
             LeafStatus.ALIVE,
             LeafStatus.RECOVERING_DISK,
             LeafStatus.RECOVERING_MEMORY_SERVING,
+            LeafStatus.RECOVERING_REPLICA_SERVING,
         )
 
     @property
@@ -413,6 +426,7 @@ class LeafServer:
             LeafStatus.ALIVE,
             LeafStatus.RECOVERING_DISK,
             LeafStatus.RECOVERING_MEMORY_SERVING,
+            LeafStatus.RECOVERING_REPLICA_SERVING,
         )
 
     @property
@@ -444,6 +458,27 @@ class LeafServer:
                     f"{self.status.value}"
                 )
             return execute_on_leaf(self.leafmap, query)
+
+    def sealed_snapshot(self) -> dict[str, tuple[list, int, int]]:
+        """A point-in-time view of every table's blocks, all sealed.
+
+        What this leaf serves a restarting sibling over the wire:
+        ``{name: (blocks, rows_ingested, rows_expired)}``.  Taken under
+        the data-plane lock so a concurrent add or expiry cannot tear
+        the view.  Buffered rows are sealed first — they are
+        acknowledged deliveries, and leaving them out would hand the
+        restarting sibling less data than its own disk backup holds.
+        """
+        with self._lock:
+            self.leafmap.seal_all()
+            return {
+                table.name: (
+                    table.blocks,
+                    table.total_rows_ingested,
+                    table.total_rows_expired,
+                )
+                for table in self.leafmap
+            }
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -479,6 +514,7 @@ class LeafServer:
             if self.status not in (
                 LeafStatus.ALIVE,
                 LeafStatus.RECOVERING_MEMORY_SERVING,
+                LeafStatus.RECOVERING_REPLICA_SERVING,
             ):
                 raise StateError(
                     f"leaf {self.leaf_id} cannot expire data in status "
@@ -488,7 +524,9 @@ class LeafServer:
             dropped = 0
             for table in self.leafmap:
                 dropped += table.expire_before(cutoff)
-                self.backup.record_expiry(table.name, cutoff)
+                self.backup.record_expiry(
+                    table.name, cutoff, rows_expired=table.total_rows_expired
+                )
             if self._restorer is not None:
                 # Blocks that aged out before ever faulting in are simply
                 # never decoded — expiry reaches into the pending set too.

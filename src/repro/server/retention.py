@@ -80,7 +80,9 @@ class RetentionEnforcer:
                 cutoff = now - policy.max_age_seconds
                 dropped = table.expire_before(cutoff)
                 report.rows_dropped_by_age += dropped
-                leaf.backup.record_expiry(table.name, cutoff)
+                leaf.backup.record_expiry(
+                    table.name, cutoff, rows_expired=table.total_rows_expired
+                )
             if policy.max_bytes_per_leaf is not None:
                 report.rows_dropped_by_size += table.enforce_size_limit(
                     policy.max_bytes_per_leaf

@@ -84,6 +84,19 @@ def _block_preamble(block: RowBlock) -> tuple[bytes, list[bytes]]:
     return bytes(preamble), rbcs
 
 
+def packed_block_chunks(block: RowBlock) -> list[bytes]:
+    """``block.pack()`` as zero-copy chunks: preamble + raw RBC buffers.
+
+    Concatenating the chunks reproduces the contiguous packed-block
+    image byte for byte, so a receiver can hand the joined payload to
+    :meth:`RowBlock.unpack`.  The RBC chunks are the block's own encoded
+    buffers (``to_encoded(copy=False)``), which is what lets the replica
+    wire path serve sealed blocks without re-encoding them.
+    """
+    preamble, rbcs = _block_preamble(block)
+    return [preamble, *rbcs]
+
+
 def packed_block_size(block: RowBlock) -> int:
     """Exact size of ``block`` in the contiguous layout, without packing."""
     writer = BufferWriter()

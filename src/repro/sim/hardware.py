@@ -92,6 +92,19 @@ class HardwareProfile:
     gil_replay_streams: float = 1.0
     replay_serial_fraction: float = 0.08
 
+    # Replica recovery tier: a restarting leaf pulls its sealed blocks
+    # over the datacenter network from a standby on another machine, on
+    # ``replica_streams`` concurrent TCP streams.  One stream is
+    # latency/CPU bound well below the NIC; streams scale until they
+    # saturate the host's usable network bandwidth.  The receiving side
+    # still pays the bulk per-column unpack (same stage as the snapshot
+    # tier), overlapped with the fetch.
+    net_stream_gbps: float = 0.4
+    net_total_gbps: float = 1.25
+    replica_streams: int = 4
+    #: Session setup: discovery, TCP connects, catalog exchange.
+    replica_handshake_overhead_s: float = 0.3
+
     # Fixed overheads.
     process_restart_overhead_s: float = 12.0
     #: Serve-while-restoring: time to publish the block directory (map
@@ -249,6 +262,45 @@ class HardwareProfile:
         streams = self.effective_replay_streams(workers, backend)
         serial = self.replay_serial_fraction
         return 1.0 / (serial + (1.0 - serial) / streams)
+
+    # ------------------------------------------------------------------
+    # Replica recovery tier
+    # ------------------------------------------------------------------
+
+    def replica_fetch_seconds(self, nbytes: float, streams: int | None = None) -> float:
+        """Pull ``nbytes`` off a standby over ``streams`` pipelined TCP
+        streams: each stream runs at its single-stream rate until the
+        host NIC saturates, then they share the ceiling fairly."""
+        streams = self.replica_streams if streams is None else streams
+        if streams < 1:
+            raise ValueError("need at least one stream")
+        aggregate = min(self.net_total_gbps, streams * self.net_stream_gbps)
+        return nbytes / (aggregate * GB)
+
+    def replica_restart_seconds(self, streams: int | None = None) -> float:
+        """One leaf's replica-tier recovery: handshake, then the wire
+        fetch overlapped with the bulk per-column unpack (the pipeline
+        runs at the slower of the two), plus process overhead.  No local
+        disk read at all — the tier exists for exactly the case where
+        the disk path would cost 20+ minutes."""
+        nbytes = self.data_bytes_per_leaf
+        fetch = self.replica_fetch_seconds(nbytes, streams)
+        unpack = self.snapshot_translate_seconds(nbytes, 1)
+        return (
+            self.replica_handshake_overhead_s
+            + max(fetch, unpack)
+            + self.process_restart_overhead_s
+        )
+
+    def replica_restore_speedup(self, concurrent_on_machine: int = 1) -> float:
+        """Replica-tier recovery versus the *snapshot* disk tier — the
+        best disk rung, so the floor of what the wire buys.  With ``k``
+        leaves of the same machine recovering at once the disk thrashes
+        while each leaf's wire session has its own remote standby, so
+        the ratio grows with ``k``."""
+        return self.disk_snapshot_restart_seconds(
+            concurrent_on_machine
+        ) / self.replica_restart_seconds()
 
     # ------------------------------------------------------------------
     # Restart durations (per leaf)

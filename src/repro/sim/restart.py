@@ -79,6 +79,24 @@ def simulate_leaf_restart(
             copy_in_seconds=0.0,
             overhead_seconds=profile.process_restart_overhead_s,
         )
+    if method == "replica":
+        # The replica tier: no local disk involved — sealed blocks come
+        # off a standby's wire session, and the per-column unpack
+        # overlaps the fetch (the pipeline runs at the slower stage).
+        nbytes = profile.data_bytes_per_leaf
+        fetch = profile.replica_fetch_seconds(nbytes)
+        unpack = profile.snapshot_translate_seconds(nbytes, 1)
+        return LeafRestartBreakdown(
+            method="replica",
+            read_seconds=max(fetch, unpack),
+            translate_seconds=0.0,
+            copy_out_seconds=0.0,
+            copy_in_seconds=0.0,
+            overhead_seconds=(
+                profile.replica_handshake_overhead_s
+                + profile.process_restart_overhead_s
+            ),
+        )
     if method == "shm":
         return LeafRestartBreakdown(
             method="shm",

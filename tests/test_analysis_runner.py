@@ -98,7 +98,16 @@ class TestRunLint:
         codes = {f.code for f in result.match.new}
         assert result.failed
         # the baselined families are exactly these
-        assert codes == {"RL201", "RL204", "RL302", "RL502", "RL503", "RL602", "RL702"}
+        assert codes == {
+            "RL201",
+            "RL204",
+            "RL302",
+            "RL502",
+            "RL503",
+            "RL602",
+            "RL701",
+            "RL702",
+        }
 
     def test_checker_filter_scopes_baseline_staleness(self, repo_root):
         """Running one checker must not report the others' baseline
@@ -169,7 +178,7 @@ class TestCli:
         )
         assert rc == 0
         written = Baseline.load(target)
-        assert len(written.entries) == 20
+        assert len(written.entries) == 22
         assert all(e.justification == "TODO: justify or fix" for e in written.entries)
 
     def test_unknown_checker_exits_two(self, repo_root, capsys):

@@ -23,15 +23,21 @@ LEGAL = {
     },
     LeafRestoreMachine: {
         (LeafRestoreState.INIT, LeafRestoreState.MEMORY_RECOVERY),
+        (LeafRestoreState.INIT, LeafRestoreState.REPLICA_RECOVERY),
         (LeafRestoreState.INIT, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.INIT, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.ALIVE),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.MEMORY_SERVING),
+        (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.REPLICA_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.MEMORY_RECOVERY, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.ALIVE),
+        (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.REPLICA_RECOVERY),
         (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
         (LeafRestoreState.MEMORY_SERVING, LeafRestoreState.DISK_RECOVERY),
+        (LeafRestoreState.REPLICA_RECOVERY, LeafRestoreState.ALIVE),
+        (LeafRestoreState.REPLICA_RECOVERY, LeafRestoreState.DISK_SNAPSHOT_RECOVERY),
+        (LeafRestoreState.REPLICA_RECOVERY, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.DISK_SNAPSHOT_RECOVERY, LeafRestoreState.ALIVE),
         (LeafRestoreState.DISK_SNAPSHOT_RECOVERY, LeafRestoreState.DISK_RECOVERY),
         (LeafRestoreState.DISK_RECOVERY, LeafRestoreState.ALIVE),
@@ -43,8 +49,10 @@ LEGAL = {
     },
     TableRestoreMachine: {
         (TableRestoreState.INIT, TableRestoreState.MEMORY_RECOVERY),
+        (TableRestoreState.INIT, TableRestoreState.REPLICA_RECOVERY),
         (TableRestoreState.INIT, TableRestoreState.DISK_SNAPSHOT_RECOVERY),
         (TableRestoreState.INIT, TableRestoreState.DISK_RECOVERY),
+        (TableRestoreState.REPLICA_RECOVERY, TableRestoreState.ALIVE),
         (TableRestoreState.MEMORY_RECOVERY, TableRestoreState.ALIVE),
         (TableRestoreState.MEMORY_RECOVERY, TableRestoreState.DISK_SNAPSHOT_RECOVERY),
         (TableRestoreState.MEMORY_RECOVERY, TableRestoreState.DISK_RECOVERY),

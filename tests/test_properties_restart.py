@@ -153,7 +153,9 @@ class TestIncrementalChainProperty:
             else:
                 cutoff = int(op[1] * t)
                 table.expire_before(cutoff)
-                backup.record_expiry("events", cutoff)
+                backup.record_expiry(
+                    "events", cutoff, rows_expired=table.total_rows_expired
+                )
         # Close the sequence at a trusted sync point.
         leafmap.seal_all()
         backup.sync_leafmap(leafmap)

@@ -60,7 +60,9 @@ class TestManyGenerations:
                 cutoff = base + (generation - 2) * 100
                 for table in leaf.leafmap:
                     table.expire_before(cutoff)
-                    leaf.backup.record_expiry(table.name, cutoff)
+                    leaf.backup.record_expiry(
+                        table.name, cutoff, rows_expired=table.total_rows_expired
+                    )
             leaf.sync_to_disk()
             leaf.shutdown(use_shm=True)
             leaf = LeafServer(
